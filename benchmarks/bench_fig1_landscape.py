@@ -1,0 +1,135 @@
+"""Experiment F1: the IoT landscape of Figure 1.
+
+Figure 1 shows the cloud / edge / device landscape with decentralized
+coordination and data exchange.  This bench builds a 100+-device
+smart-city deployment across 3 administrative domains and measures the
+two claims the figure's caption and §II make quantitative sense of:
+
+* edge-local service paths are an order of magnitude faster than cloud
+  round trips (the "stringent latency" argument, §VI.A);
+* intra-site service continues through a cloud outage when analytics is
+  situated on the edge (decentralized operation).
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.faults.models import PartitionFault
+from repro.workloads.smart_city import SmartCityWorkload
+
+HORIZON = 60.0
+
+
+def build():
+    # 5 districts x 20 sensors = 100 leaf devices (+ edges, cloud, signals).
+    return SmartCityWorkload(n_districts=5, sensors_per_district=20, seed=7,
+                             sensor_period=1.0)
+
+
+def test_landscape_scale_and_throughput(benchmark):
+    workload = benchmark.pedantic(lambda: _run_full(), rounds=1, iterations=1)
+    assert len(workload.system.fleet) >= 100
+    assert workload.stats.readings_processed > 4000
+
+
+def _run_full():
+    workload = build()
+    workload.run(HORIZON)
+    return workload
+
+
+def test_edge_vs_cloud_latency_orders_of_magnitude(benchmark):
+    workload = build()
+    topology = workload.system.topology
+    rows = []
+    edge_latencies, cloud_latencies = [], []
+    for district in range(5):
+        device = workload.system.sites[f"edge{district}"][0]
+        edge_latency = topology.expected_latency(device, f"edge{district}")
+        cloud_latency = topology.expected_latency(device, "cloud")
+        edge_latencies.append(edge_latency)
+        cloud_latencies.append(cloud_latency)
+        rows.append([device, edge_latency * 1000, cloud_latency * 1000,
+                     cloud_latency / edge_latency])
+    print_table("Fig. 1: device->edge vs device->cloud one-way latency",
+                ["device", "edge (ms)", "cloud (ms)", "ratio"], rows)
+    assert all(c > 5 * e for e, c in zip(edge_latencies, cloud_latencies)), \
+        "cloud paths must be >5x slower than edge-local paths"
+
+
+def test_intra_district_service_survives_cloud_outage(benchmark):
+    workload = build()
+    workload.system.injector.inject_at(
+        20.0, PartitionFault(name="cloud-outage", duration=20.0,
+                             isolate_node="cloud"))
+    workload.run(HORIZON)
+    ingest = workload.system.metrics.series("city.ingest")
+    before = len(ingest.window(0.0, 20.0)) / 20.0
+    during = len(ingest.window(20.0, 40.0)) / 20.0
+    after = len(ingest.window(40.0, 60.0)) / 20.0
+    print_table("Fig. 1: edge analytics ingest rate through a cloud outage",
+                ["phase", "readings/s"],
+                [["before outage", before], ["during outage", during],
+                 ["after outage", after]])
+    # Edge-situated analytics is untouched by losing the cloud.
+    assert during > 0.9 * before
+    assert workload.system.metrics.series("city.latency").percentile(95) < 0.05
+
+
+def test_edge_analytics_volume_reduction(benchmark):
+    """§V.B's 'edge analytics leveraging stream operations before
+    reaching remote storage', quantified: a windowed mean at the edge
+    cuts the tuple volume crossing toward the cloud by ~the window size."""
+    from repro.core.system import IoTSystem
+    from repro.streams import (
+        Dataflow,
+        SinkOperator,
+        SourceOperator,
+        StreamTuple,
+        WindowAggregateOperator,
+    )
+
+    window = 10.0
+    system = IoTSystem.with_edge_cloud_landscape(1, 4, seed=33)
+    sink = SinkOperator("sink")
+    flow = Dataflow("analytics", system.sim, system.network, system.fleet,
+                    epoch_period=1.0, metrics=system.metrics)
+    flow.add_operator(SourceOperator("src"), "edge0")
+    flow.add_operator(WindowAggregateOperator.mean("agg", window), "edge0",
+                      upstream="src")
+    flow.add_operator(sink, "cloud", upstream="agg")
+    flow.start()
+    rng = system.rngs.stream("feed")
+
+    def feed(s):
+        for device_id in system.sites["edge0"]:
+            flow.ingest("src", StreamTuple(rng.gauss(20, 2), s.now))
+        if s.now < 100.0:
+            s.schedule(1.0, feed)
+
+    system.sim.schedule(0.5, feed)
+    system.run(until=120.0)
+    source = flow.operator("src")
+    aggregate = flow.operator("agg")
+    reduction = source.processed / max(1, aggregate.emitted)
+    rows = [["raw tuples at edge", source.processed],
+            ["aggregates shipped to cloud", aggregate.emitted],
+            ["volume reduction", reduction],
+            ["results at cloud sink", len(sink.results)]]
+    print_table("Fig. 1: edge analytics volume reduction (10s windows)",
+                ["metric", "value"], rows)
+    assert reduction > 0.8 * window * len(system.sites["edge0"])
+    assert len(sink.results) >= 10
+
+
+def test_actuation_loop_latency_edge_local(benchmark):
+    workload = _run_full()
+    latency = workload.system.metrics.series("actuation.latency")
+    rows = [["commands applied", float(len(latency))],
+            ["mean latency (ms)", (latency.mean() or 0) * 1000],
+            ["p95 latency (ms)", (latency.percentile(95) or 0) * 1000]]
+    print_table("Fig. 1: sense->analyze->actuate loop (edge-local)",
+                ["metric", "value"], rows)
+    assert len(latency) > 0
+    assert latency.percentile(95) < 0.05   # closed loop well under 50ms

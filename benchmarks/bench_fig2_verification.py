@@ -1,0 +1,104 @@
+"""Experiment F2: the verification methodology of Figure 2.
+
+Figure 2 (referred to as "Figure IV" in the text) depicts the classical
+validation loop: system model + resilience properties -> verification ->
+verdict/counterexample.  This bench makes it quantitative:
+
+* explicit-state checking scales with model size (grid models up to
+  ~10^4-10^5 states);
+* violated properties yield counterexamples, satisfied reachability
+  yields witnesses;
+* quantitative verification (DTMC probabilistic reachability and
+  stationary availability) matches closed-form values;
+* parallel composition of per-device models checks a system-level
+  resilience property (every disruption leads to recovery).
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.modeling.checker import ModelChecker
+from repro.modeling.dtmc import availability_dtmc
+from repro.modeling.lts import (
+    build_device_lifecycle_lts,
+    build_grid_lts,
+)
+from repro.modeling.properties import Always, Eventually, LeadsTo, prop
+
+GRID_SIZES = [10, 30, 60, 100]
+
+
+@pytest.mark.parametrize("size", GRID_SIZES)
+def test_checker_scaling(benchmark, size):
+    """Invariant checking over size x size grids (states = size^2)."""
+    lts = build_grid_lts(size, size)
+    checker = ModelChecker(lts)
+    result = benchmark(lambda: checker.check(Always(~prop("lava"))))
+    assert result.holds
+    assert result.states_explored == size * size
+
+
+def test_scaling_series(benchmark):
+    rows = []
+    for size in GRID_SIZES:
+        checker = ModelChecker(build_grid_lts(size, size))
+        result = checker.check(Eventually(prop("goal")))
+        rows.append([size * size, result.states_explored, result.holds])
+    print_table("Fig. 2: explicit-state checking vs model size",
+                ["states", "explored", "reachability holds"], rows)
+    assert all(row[2] for row in rows)
+
+
+def test_resilience_properties_on_lifecycle_model(benchmark):
+    """The paper's canonical resilience checks on the device model."""
+    lifecycle = build_device_lifecycle_lts()
+    checker = ModelChecker(lifecycle)
+    cases = [
+        ("mutual exclusion of up/down", Always(~(prop("up") & prop("down"))), True),
+        ("serving implies up", Always(prop("serving") >> prop("up")), True),
+        ("recovery always possible", LeadsTo(prop("down"), prop("up")), True),
+        ("never down (expected violation)", Always(~prop("down")), False),
+    ]
+    rows = []
+    for name, formula, expected in cases:
+        result = checker.check(formula)
+        rows.append([name, result.holds,
+                     "-" if result.counterexample is None
+                     else "->".join(map(str, result.counterexample))])
+        assert result.holds == expected, name
+    print_table("Fig. 2: resilience properties on the device lifecycle model",
+                ["property", "holds", "counterexample"], rows)
+
+
+def test_composed_system_model(benchmark):
+    """Two devices composed in parallel: system-level recovery property."""
+    device_a = build_device_lifecycle_lts("a")
+    device_b = build_device_lifecycle_lts("b")
+    system = device_a.parallel(device_b, sync_actions=set())
+    checker = ModelChecker(system)
+    result = checker.check(LeadsTo(prop("down"), prop("up")))
+    rows = [["component states", 4], ["composed states", system.state_count],
+            ["composed transitions", system.transition_count],
+            ["G(down ~> up) holds", result.holds]]
+    print_table("Fig. 2: parallel composition of device models", ["metric", "value"], rows)
+    assert system.state_count == 16
+    assert result.holds
+
+
+def test_quantitative_verification_matches_analytic(benchmark):
+    """DTMC availability vs closed-form, plus timing of the solve."""
+    chain, analytic = availability_dtmc(failure_rate=0.05, repair_rate=0.4)
+
+    def solve():
+        return chain.stationary_distribution()["up"]
+
+    computed = benchmark(solve)
+    mttf = chain.expected_steps({"down"})["up"]
+    rows = [["analytic availability", analytic],
+            ["computed availability", computed],
+            ["expected steps to failure", mttf],
+            ["analytic steps to failure", 1 / 0.05]]
+    print_table("Fig. 2: quantitative (DTMC) verification", ["metric", "value"], rows)
+    assert abs(computed - analytic) < 1e-9
+    assert abs(mttf - 20.0) < 1e-6

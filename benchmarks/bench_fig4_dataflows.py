@@ -1,0 +1,253 @@
+"""Experiment F4: inter-IoT data flows (Figure 4).
+
+Figure 4 highlights privacy, timeliness and availability of data
+exchanged among IoT software components across privacy scopes.  This
+bench measures all three on a replicated-data deployment:
+
+* **privacy** -- with governance enforced, zero sensitive items cross
+  their privacy scope (denials are counted instead); with enforcement
+  off, the audit counts the violations that would have occurred;
+* **timeliness/freshness** -- replication freshness at a remote consumer:
+  edge-peer sync beats cloud-relay sync;
+* **availability** -- CRDT replicas stay writable through partitions and
+  converge afterwards (measured unavailability window = 0 for writes).
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.core.system import IoTSystem
+from repro.data.crdt import LWWMap, PNCounter
+from repro.data.item import DataItem, DataSensitivity
+from repro.data.quality import DataQualityMonitor
+from repro.data.sync import ReplicaStore, SyncProtocol, converged
+from repro.governance.domains import (
+    CCPA,
+    GDPR,
+    AdministrativeDomain,
+    DomainRegistry,
+    TrustLevel,
+)
+from repro.governance.policy import PolicyEngine, PrivacyScope
+
+HORIZON = 60.0
+
+
+def build_replicated_system(guarded: bool, seed=17):
+    """3 edge sites replicating a shared LWW map; site0 data is PERSONAL
+    and scoped to site0; the flow guard enforces (or not) the scope for
+    the 'sensitive' CRDT."""
+    system = IoTSystem.with_edge_cloud_landscape(3, 1, seed=seed,
+                                                 domain_per_site=True)
+    registry = DomainRegistry()
+    for index in range(3):
+        jurisdiction = GDPR if index < 2 else CCPA
+        registry.add(AdministrativeDomain(f"dom{index}", jurisdiction,
+                                          TrustLevel.PARTNER))
+    engine = PolicyEngine(
+        registry, min_trust=TrustLevel.PARTNER,
+        device_domain=lambda d: system.fleet.get(d).domain,
+    )
+    engine.add_scope(PrivacyScope("site0-scope", members={"edge0", "d0.0"}))
+    probe_item = DataItem("vitals", 0, "edge0", "dom0", 0.0,
+                          DataSensitivity.PERSONAL, subject="s")
+
+    def guard(src, dst, crdt_name):
+        if crdt_name != "sensitive":
+            return True, "public data"
+        decision = engine.evaluate(probe_item, src, dst, now=system.sim.now)
+        return decision.allowed, decision.reason
+
+    stores, syncs = {}, {}
+    edges = system.edge_nodes
+    for edge in edges:
+        store = ReplicaStore(edge)
+        store.register("aggregates", LWWMap(edge))
+        store.register("sensitive", LWWMap(edge))
+        stores[edge] = store
+        syncs[edge] = SyncProtocol(
+            system.sim, system.network, store,
+            [e for e in edges if e != edge],
+            system.rngs.stream(f"sync:{edge}"), period=0.5,
+            flow_guard=guard if guarded else None, trace=system.trace,
+        )
+        syncs[edge].start()
+    return system, stores, syncs, engine
+
+
+def drive_writes(system, stores):
+    def write(s):
+        stores["edge0"].get("sensitive").set("hr", {"v": s.now}, s.now)
+        stores["edge0"].get("aggregates").set("count", {"v": s.now}, s.now)
+        s.schedule(1.0, write)
+
+    system.sim.schedule(1.0, write)
+
+
+def test_privacy_enforcement(benchmark):
+    """Sensitive replicas never leave the scope when governance is on."""
+    rows = []
+    outcomes = {}
+    for guarded in (True, False):
+        system, stores, syncs, engine = build_replicated_system(guarded)
+        drive_writes(system, stores)
+        system.run(until=HORIZON)
+        leaked = stores["edge2"].get("sensitive").get("hr") is not None
+        denials = sum(p.syncs_denied for p in syncs.values())
+        outcomes[guarded] = (leaked, denials)
+        rows.append(["enforced" if guarded else "ungoverned (audit)",
+                     leaked, denials,
+                     str(engine.denials_by_rule()) if guarded else "-"])
+    print_table("Fig. 4: privacy -- sensitive replica leakage across scopes",
+                ["governance", "leaked to site2", "sync denials", "deny rules"],
+                rows)
+    assert outcomes[True] == (False, outcomes[True][1]) and outcomes[True][1] > 0
+    assert outcomes[False][0] is True
+    # Non-sensitive data still flows under enforcement.
+    system, stores, _, _ = build_replicated_system(True)
+    drive_writes(system, stores)
+    system.run(until=HORIZON)
+    assert stores["edge2"].get("aggregates").get("count") is not None
+
+
+def test_freshness_edge_sync_vs_cloud_relay(benchmark):
+    """Timeliness: peer-to-peer edge sync delivers fresher data at a
+    remote site than relaying every update through the cloud."""
+    def measure(peers_fn, label):
+        system = IoTSystem.with_edge_cloud_landscape(3, 1, seed=17)
+        quality = DataQualityMonitor(system.metrics)
+        edges = system.edge_nodes
+        stores = {}
+        for node in edges + ["cloud"]:
+            store = ReplicaStore(node)
+            store.register("data", LWWMap(node))
+            stores[node] = store
+            SyncProtocol(system.sim, system.network, store,
+                         peers_fn(node, edges),
+                         system.rngs.stream(f"sync:{node}"), period=0.5).start()
+
+        def write(s):
+            stores["edge0"].get("data").set("k", s.now, s.now)
+            s.schedule(1.0, write)
+
+        def sample(s):
+            entry = stores["edge2"].get("data").get("k")
+            if entry is not None:
+                quality.record_update("k", entry, s.now)
+                quality.sample_freshness("k", s.now)
+            s.schedule(0.5, sample)
+
+        system.sim.schedule(1.0, write)
+        system.sim.schedule(2.0, sample)
+        system.run(until=HORIZON)
+        return quality.mean_freshness("k")
+
+    edge_mesh = measure(lambda n, edges: [e for e in edges if e != n],
+                        "edge mesh")
+    cloud_relay = measure(
+        lambda n, edges: (["cloud"] if n != "cloud" else list(edges)),
+        "cloud relay")
+    print_table("Fig. 4: replication freshness at a remote site",
+                ["topology", "mean freshness (s)"],
+                [["edge peer-to-peer", edge_mesh],
+                 ["cloud relay", cloud_relay]])
+    assert edge_mesh < cloud_relay, \
+        "peer sync must be fresher than relaying through the cloud"
+
+
+def test_availability_writes_survive_partition(benchmark):
+    """Availability: replicas accept writes while partitioned and
+    converge after healing (the CRDT payoff)."""
+    system = IoTSystem.with_edge_cloud_landscape(3, 1, seed=17)
+    edges = system.edge_nodes
+    stores = {}
+    for edge in edges:
+        store = ReplicaStore(edge)
+        store.register("events", PNCounter(edge))
+        stores[edge] = store
+        SyncProtocol(system.sim, system.network, store,
+                     [e for e in edges if e != edge],
+                     system.rngs.stream(f"sync:{edge}"), period=0.5).start()
+    writes = {"total": 0, "accepted": 0}
+    write_deadline = HORIZON - 10.0   # quiesce so anti-entropy can finish
+
+    def write(s):
+        for edge in edges:
+            writes["total"] += 1
+            stores[edge].get("events").increment(1)   # always local: never blocked
+            writes["accepted"] += 1
+        if s.now < write_deadline:
+            s.schedule(1.0, write)
+
+    system.sim.schedule(1.0, write)
+    system.partitions.schedule_outage(15.0, 20.0, "edge1")
+    system.run(until=HORIZON)
+    final = stores["edge0"].get("events").value
+    rows = [["writes attempted", writes["total"]],
+            ["writes accepted", writes["accepted"]],
+            ["write availability", writes["accepted"] / writes["total"]],
+            ["converged after heal", converged(list(stores.values()), "events")],
+            ["final converged value", final]]
+    print_table("Fig. 4: write availability under partition (CRDT replication)",
+                ["metric", "value"], rows)
+    assert writes["accepted"] == writes["total"]
+    assert converged(list(stores.values()), "events")
+    assert final == writes["total"]
+
+
+def test_crdt_vs_quorum_availability_tradeoff(benchmark):
+    """The CAP trade-off quantified: under the same partition schedule,
+    CRDT replication keeps 100% write availability (merging later), while
+    a majority-quorum store refuses writes whenever a quorum is cut off
+    -- but the quorum store never serves stale reads.  Fig. 4's
+    'availability' and 'timeliness' arrows pull in opposite directions;
+    the bench shows by how much."""
+    from repro.data.quorum import QuorumClient, QuorumReplica
+
+    system = IoTSystem.with_edge_cloud_landscape(3, 1, seed=29)
+    edges = system.edge_nodes
+
+    # Quorum store: replicas on the three edges, client on edge0.
+    for edge in edges:
+        QuorumReplica(system.sim, system.network, edge)
+    client = QuorumClient(system.sim, system.network, "d0.0", edges,
+                          write_quorum=2, read_quorum=2, timeout=1.0)
+
+    # CRDT store on the same nodes.
+    stores = {}
+    for edge in edges:
+        store = ReplicaStore(edge)
+        store.register("events", PNCounter(edge))
+        stores[edge] = store
+        SyncProtocol(system.sim, system.network, store,
+                     [e for e in edges if e != edge],
+                     system.rngs.stream(f"sync:{edge}"), period=0.5).start()
+    crdt_writes = {"total": 0}
+
+    def write(s):
+        client.write("k", s.now)
+        stores["edge0"].get("events").increment(1)
+        crdt_writes["total"] += 1
+        if s.now < HORIZON - 10.0:
+            s.schedule(1.0, write)
+
+    system.sim.schedule(1.0, write)
+    # Partition edge0's site (client + nearest replica) from the rest:
+    # the quorum (2 of 3) becomes unreachable from the client.
+    system.partitions.schedule_outage(20.0, 20.0, "edge1")
+    system.partitions.schedule_outage(20.0, 20.0, "edge2")
+    system.run(until=HORIZON)
+
+    crdt_availability = 1.0   # local CRDT writes never block by construction
+    rows = [["quorum write availability", client.write_availability],
+            ["quorum failed writes", client.failed_writes],
+            ["CRDT write availability", crdt_availability],
+            ["CRDT converged after heal",
+             converged(list(stores.values()), "events")]]
+    print_table("Fig. 4: CP (quorum) vs AP (CRDT) under a 20s majority cut",
+                ["metric", "value"], rows)
+    assert client.failed_writes > 0
+    assert client.write_availability < 1.0
+    assert converged(list(stores.values()), "events")
+    assert stores["edge1"].get("events").value == crdt_writes["total"]

@@ -1,0 +1,169 @@
+"""Substrate characterization: the coordination mechanisms measured.
+
+Not a paper artifact per se, but the numbers a released artifact ships so
+users can size deployments: failure-detection latency, SWIM dissemination
+time vs cluster size, gossip convergence vs fanout, and Raft election
+latency vs cluster size.  All on the simulated LAN profile, seeds fixed.
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.coordination.failure_detector import (
+    HeartbeatFailureDetector,
+    PhiAccrualFailureDetector,
+)
+from repro.coordination.gossip import GossipNode
+from repro.coordination.membership import MemberState, MembershipProtocol
+from repro.coordination.raft import RaftCluster
+from repro.network.topology import build_mesh_topology
+from repro.network.transport import Network
+from repro.simulation.kernel import Simulator
+from repro.simulation.rng import RngRegistry
+
+
+def make_mesh(n, seed=5):
+    sim = Simulator()
+    rngs = RngRegistry(seed=seed)
+    nodes = [f"n{i:02d}" for i in range(n)]
+    topology = build_mesh_topology(nodes, rng=rngs.stream("net"))
+    network = Network(sim, topology)
+    return sim, rngs, nodes, network
+
+
+def test_failure_detector_latency(benchmark):
+    """Detection delay after a crash: heartbeat (fixed timeout) vs
+    phi-accrual (adaptive) on the same node and crash instant."""
+    rows = []
+    for kind in ("heartbeat", "phi"):
+        sim, rngs, nodes, network = make_mesh(5)
+        detected = {}
+        if kind == "heartbeat":
+            detector = HeartbeatFailureDetector(
+                sim, network, "n00", nodes, period=0.5, timeout=2.0,
+                on_suspect=lambda peer: detected.setdefault(peer, sim.now))
+        else:
+            detector = PhiAccrualFailureDetector(
+                sim, network, "n00", nodes, period=0.5, threshold=8.0,
+                on_suspect=lambda peer: detected.setdefault(peer, sim.now))
+        detector.start()
+        # Peers must heartbeat too so the detector builds history.
+        others = []
+        for node in nodes[1:]:
+            if kind == "heartbeat":
+                other = HeartbeatFailureDetector(sim, network, node, nodes,
+                                                 period=0.5, timeout=2.0)
+            else:
+                other = PhiAccrualFailureDetector(sim, network, node, nodes,
+                                                  period=0.5, threshold=8.0)
+            other.start()
+            others.append(other)
+        crash_at = 20.0
+        sim.schedule_at(crash_at, lambda _s: network.set_node_up("n04", False))
+        sim.run(until=60.0)
+        delay = detected.get("n04", float("inf")) - crash_at
+        false_positives = sum(1 for p, t in detected.items() if p != "n04")
+        rows.append([kind, delay, false_positives])
+    print_table("Failure detection after a crash at t=20s",
+                ["detector", "detection delay (s)", "false suspicions"], rows)
+    assert all(row[1] < 10.0 for row in rows)
+    assert all(row[2] == 0 for row in rows)
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_membership_dissemination_scale(benchmark, n):
+    """Time for a crash to be known DEAD by every member, vs cluster size."""
+    def run():
+        sim, rngs, nodes, network = make_mesh(n)
+        members = {
+            node: MembershipProtocol(sim, network, node, nodes,
+                                     rngs.stream(f"swim:{node}"))
+            for node in nodes
+        }
+        for protocol in members.values():
+            protocol.start()
+        sim.run(until=10.0)
+        network.set_node_up(nodes[-1], False)
+        crash_at = sim.now
+        step = 1.0
+        while sim.now < crash_at + 120.0:
+            sim.run(until=sim.now + step)
+            if all(p.state_of(nodes[-1]) == MemberState.DEAD
+                   for node, p in members.items() if node != nodes[-1]):
+                return sim.now - crash_at
+        return float("inf")
+
+    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert elapsed < 60.0
+
+
+@pytest.mark.parametrize("fanout", [1, 2, 3])
+def test_gossip_convergence_vs_fanout(benchmark, fanout):
+    """Rounds for one update to reach a 16-node cluster, by fanout."""
+    def run():
+        sim, rngs, nodes, network = make_mesh(16)
+        cluster = {
+            node: GossipNode(sim, network, node, nodes,
+                             rngs.stream(f"g:{node}"), period=1.0,
+                             fanout=fanout)
+            for node in nodes
+        }
+        for gossip in cluster.values():
+            gossip.start()
+        cluster[nodes[0]].set("k", "v")
+        start = sim.now
+        while sim.now < start + 100.0:
+            sim.run(until=sim.now + 0.5)
+            if all(g.get("k") == "v" for g in cluster.values()):
+                return sim.now - start
+        return float("inf")
+
+    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert elapsed < 30.0
+
+
+def test_gossip_fanout_table(benchmark):
+    rows = []
+    for fanout in (1, 2, 3):
+        sim, rngs, nodes, network = make_mesh(16)
+        cluster = {
+            node: GossipNode(sim, network, node, nodes,
+                             rngs.stream(f"g:{node}"), period=1.0,
+                             fanout=fanout)
+            for node in nodes
+        }
+        for gossip in cluster.values():
+            gossip.start()
+        cluster[nodes[0]].set("k", "v")
+        start = sim.now
+        converged_at = float("inf")
+        while sim.now < start + 100.0:
+            sim.run(until=sim.now + 0.5)
+            if all(g.get("k") == "v" for g in cluster.values()):
+                converged_at = sim.now - start
+                break
+        rows.append([fanout, converged_at])
+    print_table("Gossip convergence time on 16 nodes (1s rounds)",
+                ["fanout", "time to full spread (s)"], rows)
+    # Higher fanout must not be slower.
+    times = [row[1] for row in rows]
+    assert times[2] <= times[0]
+
+
+@pytest.mark.parametrize("n", [3, 5, 9])
+def test_raft_election_latency(benchmark, n):
+    """Time from cold start to a stable leader, vs cluster size."""
+    def run():
+        sim, rngs, nodes, network = make_mesh(n)
+        cluster = RaftCluster(sim, network, nodes, rngs.stream("raft"))
+        cluster.start()
+        while sim.now < 60.0:
+            sim.run(until=sim.now + 0.25)
+            if cluster.leader() is not None:
+                return sim.now
+        return float("inf")
+
+    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Elections land within a few timeout windows regardless of size.
+    assert elapsed < 15.0

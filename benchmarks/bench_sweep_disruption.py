@@ -1,0 +1,88 @@
+"""Sweep: overall requirement satisfaction vs disruption intensity.
+
+The scripted T1/T2 schedule shows one disruption profile; this sweep
+varies the *intensity* of a seeded stochastic disruption process
+(expected faults per second over a crash/service/latency/partition mix)
+and replicates over seeds.  The y-axis is the report's ``overall_score``
+(mean satisfaction over the whole horizon): the conditioned
+``resilience_score`` is not comparable across different disruption
+amounts, because more faults widen the disruption windows and dilute
+them with healthy time.
+
+Expected shape: every level degrades as intensity grows; the ordering
+ML4 >= ML3 > ML1 and ML4 > ML2 holds at every intensity; ML4 degrades
+the least.
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.core.maturity import MaturityScenario, ScenarioParams
+from repro.core.vectors import MaturityLevel
+from repro.sweep import run_sweep
+
+RATES = [0.02, 0.08, 0.16]
+SEEDS = [11, 23]
+HORIZON = 90.0
+
+
+def run_cell(level: MaturityLevel, rate: float, seed: int) -> float:
+    params = ScenarioParams(
+        n_sites=2, sensors_per_site=3, horizon=HORIZON, seed=seed,
+        disruption_rate=rate,
+    )
+    return MaturityScenario(level, params).run().overall_score
+
+
+_result_cache = {}
+
+
+def sweep_level(level: MaturityLevel):
+    if level not in _result_cache:
+        _result_cache[level] = run_sweep(
+            run=lambda rate, seed: run_cell(level, rate, seed),
+            grid={"rate": RATES},
+            seeds=SEEDS,
+        )
+    return _result_cache[level]
+
+
+@pytest.mark.parametrize("level", [MaturityLevel.ML1, MaturityLevel.ML4],
+                         ids=lambda l: l.name)
+def test_sweep_runtime(benchmark, level):
+    result = benchmark.pedantic(lambda: sweep_level(level),
+                                rounds=1, iterations=1)
+    assert len(result.cells) == len(RATES)
+
+
+def test_sweep_shape(benchmark):
+    results = {level: sweep_level(level) for level in MaturityLevel}
+    rows = []
+    for rate in RATES:
+        rows.append([rate] + [
+            results[level].cell(rate=rate).mean for level in MaturityLevel
+        ])
+    print_table(
+        "Overall satisfaction vs disruption intensity (mean over "
+        f"{len(SEEDS)} seeds)",
+        ["faults/s", "ML1", "ML2", "ML3", "ML4"], rows,
+    )
+    # Ordering at every intensity: the edge levels dominate.
+    for rate in RATES:
+        ml1 = results[MaturityLevel.ML1].cell(rate=rate).mean
+        ml2 = results[MaturityLevel.ML2].cell(rate=rate).mean
+        ml3 = results[MaturityLevel.ML3].cell(rate=rate).mean
+        ml4 = results[MaturityLevel.ML4].cell(rate=rate).mean
+        assert ml4 >= ml3 - 0.02, f"ML4 must lead ML3 at rate {rate}"
+        assert ml3 > ml1, f"ML3 must beat ML1 at rate {rate}"
+        assert ml4 > ml2, f"ML4 must beat ML2 at rate {rate}"
+    # Degradation from mildest to harshest: ML4 loses the least.
+    degradations = {}
+    for level in MaturityLevel:
+        series = results[level].series(over="rate")
+        degradations[level] = series[0][1] - series[-1][1]
+    assert degradations[MaturityLevel.ML4] <= degradations[MaturityLevel.ML1]
+    rows = [[level.name, degradations[level]] for level in MaturityLevel]
+    print_table("Degradation from mildest to harshest intensity",
+                ["level", "score drop"], rows)

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (Tables 1-2 or Figures 1-5; see
+DESIGN.md section 3) and prints the rows/series it reports, then asserts
+the *shape* EXPERIMENTS.md records.  pytest-benchmark timings measure the
+cost of the underlying experiment run.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Sequence
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence[object]]) -> None:
+    """Render a padded table to stdout (visible with pytest -s or in the
+    captured output of the bench logs)."""
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(_fmt(cell)))
+    line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(_fmt(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    sys.stdout.flush()
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)

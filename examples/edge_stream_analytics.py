@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Edge stream analytics: aggregate at the edge, ship a trickle upstream.
+
+§V.B names "edge analytics leveraging stream operations before reaching
+remote storage" as a manifestation of the edge paradigm.  This example
+builds a dataflow -- per-device temperature sources, an edge-side
+windowed mean, a cloud sink -- and shows the two payoffs:
+
+1. volume: the cloud receives ~1/window of the raw tuple rate;
+2. mobility: when the edge host dies, the window operator migrates (with
+   its open-window state) to a gateway and the pipeline resumes.
+
+Run:  python examples/edge_stream_analytics.py
+"""
+
+from repro.core.system import IoTSystem
+from repro.devices.base import DeviceClass
+from repro.streams import (
+    Dataflow,
+    SinkOperator,
+    SourceOperator,
+    StreamTuple,
+    WindowAggregateOperator,
+)
+
+HORIZON = 60.0
+WINDOW = 5.0
+
+
+def main() -> None:
+    system = IoTSystem.with_edge_cloud_landscape(1, 3, seed=33)
+    # A side link so the site survives losing its edge hub (redundant
+    # connectivity is the precondition of operator mobility).
+    system.topology.add_link("d0.0", "d0.1", profile="lan")
+
+    sink = SinkOperator("cloud-sink")
+    flow = Dataflow("thermals", system.sim, system.network, system.fleet,
+                    epoch_period=1.0, metrics=system.metrics)
+    flow.add_operator(SourceOperator("src"), "d0.0")
+    flow.add_operator(WindowAggregateOperator.mean("window-mean", WINDOW),
+                      "edge0", upstream="src")
+    flow.add_operator(sink, "cloud", upstream="window-mean")
+    flow.start()
+
+    rng = system.rngs.stream("thermals")
+
+    def feed(s):
+        for device_id in system.sites["edge0"]:
+            if system.fleet.get(device_id).up:
+                flow.ingest("src", StreamTuple(20.0 + rng.gauss(0, 2), s.now,
+                                               origin=device_id))
+        if s.now < HORIZON - 5.0:
+            s.schedule(1.0, feed)
+
+    system.sim.schedule(0.5, feed)
+
+    # Crash the edge at t=25; migrate the operator at t=28 (e.g. from a
+    # peer MAPE loop's migration action).
+    system.sim.schedule_at(25.0, lambda _s: system.fleet.crash("edge0"))
+
+    def migrate(_s):
+        flow.migrate_operator("window-mean", "d0.1")
+        print(f"t=28.0s  migrated 'window-mean' (with open-window state) "
+              f"edge0 -> d0.1")
+
+    system.sim.schedule_at(28.0, migrate)
+    # The crashed edge was also the cloud uplink: local analytics continue
+    # on d0.1 meanwhile; cloud delivery resumes once the hub is repaired.
+    system.sim.schedule_at(40.0, lambda _s: system.fleet.recover("edge0"))
+    system.run(until=HORIZON)
+
+    source = flow.operator("src")
+    aggregate = flow.operator("window-mean")
+    print(f"\nafter {HORIZON:.0f}s:")
+    print(f"  raw tuples ingested      : {source.processed}")
+    print(f"  aggregates emitted       : {aggregate.emitted} "
+          f"(window = {WINDOW:.0f}s)")
+    print(f"  tuples shipped on the net: {flow.tuples_shipped}")
+    print(f"  tuples forwarded locally : {flow.tuples_local}")
+    print(f"  dropped during edge crash: {flow.tuples_dropped}")
+    print(f"  results at cloud sink    : {len(sink.results)}")
+    values = [f"{r.value:.1f}" for r in sink.results[-5:]]
+    print(f"  last window means        : {values}")
+    reduction = source.processed / max(1, aggregate.emitted)
+    print(f"\nvolume reduction at the edge: {reduction:.1f}x fewer tuples "
+          "cross toward the cloud")
+    assert aggregate.emitted < source.processed / 3
+    assert len(sink.results) > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Energy grid islanding: decentralized control holds a safety invariant.
+
+The intro's energy scenario: smart-meter feeders balanced by edge
+controllers.  When the WAN to the utility cloud fails, each feeder keeps
+balancing locally ("islanded" operation) -- the safety invariant
+(effective demand <= feeder capacity) persists through the outage, which
+is resilience in the paper's exact sense: requirements satisfaction
+persisting when facing change.
+
+We also show the converse: crash a feeder's *edge controller* and the
+invariant degrades until it recovers -- control placement, not cloud
+connectivity, is what the invariant depends on.
+
+Run:  python examples/energy_islanding.py
+"""
+
+from repro.faults.models import CrashRecoveryFault
+from repro.workloads.energy import EnergyGridWorkload
+
+HORIZON = 60.0
+
+
+def balanced_fraction_in(workload, feeder, start, end):
+    series = workload.system.metrics.series(f"feeder.balanced:{feeder}")
+    value = series.time_weighted_mean(start, end)
+    return value if value is not None else 0.0
+
+
+def main() -> None:
+    # Scenario A: cloud outage during operation.
+    grid = EnergyGridWorkload(n_feeders=3, meters_per_feeder=5, seed=23,
+                              feeder_capacity=95.0)
+    grid.system.partitions.schedule_outage(15.0, 30.0, "cloud")
+    stats = grid.run(HORIZON)
+    print("scenario A: 3 feeders x 5 meters, cloud WAN down t=15..45s\n")
+    print(f"meter reports  : {stats.meter_reports}")
+    print(f"curtailments   : {stats.curtailments}")
+    print(f"balanced (all) : {stats.balanced_fraction:.3f} of checks")
+    during = sum(balanced_fraction_in(grid, f, 15.0, 45.0) for f in range(3)) / 3
+    print(f"balanced during outage: {during:.3f}")
+    assert during > 0.9, "islanded feeders must stay balanced without the cloud"
+    print("-> feeders islanded cleanly: local control never needed the cloud.\n")
+
+    # Scenario B: the local controller itself fails -- during a demand
+    # surge (evening peak) it can do nothing about.
+    grid_b = EnergyGridWorkload(n_feeders=1, meters_per_feeder=5, seed=23,
+                                feeder_capacity=80.0)
+    grid_b.system.injector.inject_at(10.0, CrashRecoveryFault(
+        name="controller-crash", duration=25.0, device_id="edge0"))
+    grid_b.schedule_surge(15.0, factor=1.5)   # peak hits while control is down
+    stats_b = grid_b.run(HORIZON)
+    before = balanced_fraction_in(grid_b, 0, 0.0, 10.0)
+    while_down = balanced_fraction_in(grid_b, 0, 16.0, 35.0)
+    after = balanced_fraction_in(grid_b, 0, 45.0, HORIZON)
+    print("scenario B: feeder capacity 80, controller down t=10..35s, "
+          "50% demand surge at t=15s\n")
+    print(f"balanced before crash : {before:.3f}")
+    print(f"balanced while down   : {while_down:.3f}")
+    print(f"balanced after repair : {after:.3f}")
+    print(f"overload exposure     : {stats_b.overload_seconds:.1f}s")
+    print("\n-> the invariant tracks the *local controller's* health; "
+          "resilience demands the control agent be redundant at the edge, "
+          "not merely close to it.")
+
+
+if __name__ == "__main__":
+    main()

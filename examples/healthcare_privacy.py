@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Healthcare privacy: the phone-edge as a privacy-scope guardian.
+
+§VI.B's closing example, end to end: wearables produce PERSONAL vitals;
+each patient's phone (the edge) and the hospital are inside the privacy
+scope; a research lab in a different jurisdiction may receive only
+anonymized derivations.  We run the data flows, attempt the forbidden raw
+export, transfer a device across domains, and audit everything through
+the lineage tracker.
+
+Run:  python examples/healthcare_privacy.py
+"""
+
+from repro.data.item import DataItem, DataSensitivity
+from repro.workloads.healthcare import HealthcareWorkload
+
+
+def main() -> None:
+    workload = HealthcareWorkload(n_patients=3, seed=13, vitals_period=2.0)
+    stats = workload.run(40.0)
+
+    print("healthcare: 3 patients, wearable -> phone-edge -> hospital -> lab\n")
+    print(f"vitals produced            : {stats.vitals_produced}")
+    print(f"delivered to hospital      : {stats.vitals_shared_hospital} "
+          "(in privacy scope, GDPR)")
+    print(f"anonymized shares to lab   : {stats.anonymized_shared_lab} "
+          "(US-CCPA jurisdiction)")
+    print(f"flows denied               : {stats.flows_denied}")
+
+    # Attempt the flow the policy must forbid: raw personal data to the lab.
+    raw = DataItem("hr:0", 188, "wearable0", "patients", workload.system.sim.now,
+                   DataSensitivity.PERSONAL, subject="patient0")
+    allowed = workload.try_raw_export_to_lab(raw)
+    last_decision = workload.policy_engine.decisions[-1][3]
+    print(f"\nattempted raw export of patient0 vitals to the lab:")
+    print(f"  allowed: {allowed}")
+    print(f"  reason : {last_decision.reason}")
+    assert not allowed
+
+    # Lineage audit: what did the lab actually receive?
+    lab_items = [
+        workload.lineage.item(e.item_id)
+        for e in workload.lineage.events
+        if e.action == "moved" and e.location == "lab-server"
+    ]
+    print(f"\nlineage audit -- items that reached the lab: {len(lab_items)}")
+    sensitivities = {i.sensitivity.name for i in lab_items}
+    subjects = {i.subject for i in lab_items}
+    print(f"  sensitivities: {sorted(sensitivities)}")
+    print(f"  subjects     : {sorted(map(str, subjects))}")
+    assert sensitivities == {"PUBLIC"} and subjects == {None}
+
+    # Provenance: the anonymized items still trace back to real vitals.
+    sample = lab_items[0]
+    origins = workload.lineage.origins(sample.item_id)
+    print(f"  provenance of one lab item: origins={[o.key for o in origins]} "
+          f"(produced by {origins[0].producer!r})")
+
+    print(f"\ndomain exposure of patient0's data: "
+          f"{sorted(workload.lineage.subject_exposure('patient0'))}")
+    print("\nevery byte that left the privacy scope was anonymized first; "
+          "the policy engine has the audit trail to prove it.")
+
+
+if __name__ == "__main__":
+    main()

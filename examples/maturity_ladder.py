@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Climb the maturity ladder: ML1 silo -> ML4 resilient IoT.
+
+Runs the paper's Tables 1-2 as an experiment: the same smart-city
+workload and the same disruption schedule (service failures, device
+crashes, a 25-second cloud outage, an edge crash, a latency spike) under
+the four maturity-level architectures, then prints measured requirement
+satisfaction and the aggregate resilience score per level.
+
+Run:  python examples/maturity_ladder.py        (~10 seconds)
+"""
+
+from repro.core.assessment import comparison_table, recovery_table
+from repro.core.maturity import ScenarioParams, run_maturity_comparison
+from repro.core.vectors import MATURITY_TABLE, DisruptionVector, MaturityLevel
+
+
+def main() -> None:
+    params = ScenarioParams(n_sites=3, sensors_per_site=4, horizon=120.0,
+                            seed=42)
+    print("running the common workload under ML1..ML4 "
+          f"({params.n_sites} sites x {params.sensors_per_site} devices, "
+          f"{params.horizon:.0f}s horizon, identical disruption schedule)...\n")
+    reports = run_maturity_comparison(params)
+    report_list = [reports[level] for level in MaturityLevel]
+
+    print("requirement satisfaction UNDER DISRUPTION (1.0 = unaffected):\n")
+    print(comparison_table(report_list))
+    print("\nmean recovery time after disruption windows (seconds):\n")
+    print(recovery_table(report_list))
+
+    print("\nwhat each level means (Tables 1-2, operations row):")
+    for level in MaturityLevel:
+        text = MATURITY_TABLE[(DisruptionVector.OPERATIONS, level)]
+        score = reports[level].resilience_score
+        print(f"  {level.name} (score {score:.3f}): {text}")
+
+    scores = [reports[level].resilience_score for level in MaturityLevel]
+    assert all(a < b for a, b in zip(scores, scores[1:]))
+    print("\nresilience strictly improves at every step of the roadmap.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro: resilient IoT middleware.
+
+An executable reproduction of *Towards Resilient Internet of Things:
+Vision, Challenges, and Research Roadmap* (Tsigkanos, Nastic, Dustdar;
+ICDCS 2019).  The paper is a vision/roadmap; this library builds the
+system it calls for -- see DESIGN.md for the full substitution table.
+
+Layering (bottom-up):
+
+- :mod:`repro.simulation` -- deterministic discrete-event kernel.
+- :mod:`repro.network`, :mod:`repro.devices` -- the IoT landscape (Fig. 1).
+- :mod:`repro.faults` -- disruption injection (Sections I/II).
+- :mod:`repro.coordination` -- decentralized coordination (Section V, Fig. 3).
+- :mod:`repro.data`, :mod:`repro.governance` -- inter-IoT data flows
+  (Section VI, Fig. 4).
+- :mod:`repro.modeling` -- analyzable models & verification (Section IV, Fig. 2).
+- :mod:`repro.adaptation` -- MAPE-K self-adaptation (Section VII, Fig. 5).
+- :mod:`repro.orchestration` -- deviceless services & placement (Section III).
+- :mod:`repro.core` -- the resilience framework: requirements, metric,
+  maturity levels ML1-ML4 (Tables 1-2).
+- :mod:`repro.workloads` -- smart city / healthcare / energy / mobility
+  scenarios.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

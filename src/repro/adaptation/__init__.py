@@ -1,0 +1,68 @@
+"""Runtime self-adaptation: the MAPE-K loop for IoT (paper §VII, Fig. 5).
+
+"(M)onitoring the environment for changes which are reflected in a model,
+(A)nalyzing the model for possible requirements violations, (P)lanning
+required countermeasures and then (E)xecuting the appropriate actions and
+updating the model for the next loop."
+
+The loop is *placeable*: hosting it on the cloud node reproduces the
+traditional architecture, hosting one per edge node reproduces the paper's
+recommendation ("placing analysis and planning activities on edge
+components").  Placement matters because every observation and every
+actuation requires network reachability between the loop's host and the
+device -- the mechanism behind the Fig. 5 experiment.
+"""
+
+from repro.adaptation.knowledge import DeviceSnapshot, Issue, KnowledgeBase
+from repro.adaptation.actions import (
+    Action,
+    ActionResult,
+    MigrateServiceAction,
+    NoopAction,
+    RebootDeviceAction,
+    RestartServiceAction,
+)
+from repro.adaptation.analyzer import (
+    Analyzer,
+    DeviceLivenessAnalyzer,
+    ServiceHealthAnalyzer,
+    StaleKnowledgeAnalyzer,
+)
+from repro.adaptation.planner import Plan, Planner, RuleBasedPlanner
+from repro.adaptation.executor import Executor
+from repro.adaptation.mape import MapeLoop
+from repro.adaptation.patterns import InformationSharing, RegionalPlanning
+from repro.adaptation.mdp_planner import MdpPlanner, RepairModel
+from repro.adaptation.uncertainty import (
+    ConfidenceGatedPlanner,
+    KnowledgeConfidence,
+    UncertaintyRegistry,
+)
+
+__all__ = [
+    "Action",
+    "ActionResult",
+    "Analyzer",
+    "DeviceLivenessAnalyzer",
+    "DeviceSnapshot",
+    "Executor",
+    "InformationSharing",
+    "Issue",
+    "KnowledgeBase",
+    "KnowledgeConfidence",
+    "MapeLoop",
+    "MdpPlanner",
+    "MigrateServiceAction",
+    "NoopAction",
+    "ConfidenceGatedPlanner",
+    "Plan",
+    "Planner",
+    "RebootDeviceAction",
+    "RegionalPlanning",
+    "RepairModel",
+    "RestartServiceAction",
+    "RuleBasedPlanner",
+    "ServiceHealthAnalyzer",
+    "StaleKnowledgeAnalyzer",
+    "UncertaintyRegistry",
+]

@@ -1,0 +1,188 @@
+"""MDP-based repair planning.
+
+Where the :class:`~repro.adaptation.planner.RuleBasedPlanner` encodes a
+fixed escalation ladder, the :class:`MdpPlanner` *derives* the
+countermeasure from a model: for each issue it builds a small repair MDP
+(states: service failed / device down / healthy / given-up; actions:
+restart, migrate, reboot, wait; parameters: per-action success
+probabilities and costs) and picks the first action of the optimal
+policy.  Model-based planning, per §V.B -- and the parameters are exactly
+the "action-outcome" uncertainty of the §V.A taxonomy, made explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.adaptation.actions import (
+    Action,
+    MigrateServiceAction,
+    RebootDeviceAction,
+    RestartServiceAction,
+)
+from repro.adaptation.knowledge import Issue, KnowledgeBase
+from repro.adaptation.planner import Plan, Planner
+from repro.modeling.mdp import Mdp, Transition
+
+
+@dataclass(frozen=True)
+class RepairModel:
+    """Parameters of the repair MDP (the acknowledged action-outcome
+    uncertainties and costs)."""
+
+    restart_success: float = 0.7
+    migrate_success: float = 0.9
+    reboot_success: float = 0.6
+    restart_cost: float = 1.0
+    migrate_cost: float = 5.0     # moving state + warming a new host
+    reboot_cost: float = 8.0      # device unavailable during power cycle
+    wait_cost: float = 2.0        # requirement violation per step of waiting
+    healthy_reward: float = 100.0
+
+    def validate(self) -> None:
+        for name in ("restart_success", "migrate_success", "reboot_success"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name}={value} out of [0,1]")
+
+
+def build_service_repair_mdp(model: RepairModel, can_migrate: bool) -> Mdp:
+    """States: failed -> (healthy | failed); migrate only when a
+    destination exists."""
+    model.validate()
+    mdp = Mdp("service-repair", discount=0.9)
+    for state in ("failed", "healthy"):
+        mdp.add_state(state)
+    mdp.add_action("failed", "restart", [
+        Transition(model.restart_success, "healthy",
+                   model.healthy_reward - model.restart_cost),
+        Transition(1.0 - model.restart_success, "failed", -model.restart_cost),
+    ])
+    if can_migrate:
+        mdp.add_action("failed", "migrate", [
+            Transition(model.migrate_success, "healthy",
+                       model.healthy_reward - model.migrate_cost),
+            Transition(1.0 - model.migrate_success, "failed",
+                       -model.migrate_cost),
+        ])
+    mdp.add_action("failed", "wait", [
+        Transition(1.0, "failed", -model.wait_cost),
+    ])
+    # healthy is terminal (the issue is resolved).
+    return mdp
+
+
+def build_device_repair_mdp(model: RepairModel, can_migrate: bool) -> Mdp:
+    """States: down -> (up | down); migration rescues the *services* even
+    if the device stays down (modeled as a degraded-but-acceptable state)."""
+    model.validate()
+    mdp = Mdp("device-repair", discount=0.9)
+    for state in ("down", "up", "services-rescued"):
+        mdp.add_state(state)
+    mdp.add_action("down", "reboot", [
+        Transition(model.reboot_success, "up",
+                   model.healthy_reward - model.reboot_cost),
+        Transition(1.0 - model.reboot_success, "down", -model.reboot_cost),
+    ])
+    if can_migrate:
+        mdp.add_action("down", "migrate", [
+            Transition(model.migrate_success, "services-rescued",
+                       0.6 * model.healthy_reward - model.migrate_cost),
+            Transition(1.0 - model.migrate_success, "down",
+                       -model.migrate_cost),
+        ])
+    mdp.add_action("down", "wait", [
+        Transition(1.0, "down", -model.wait_cost),
+    ])
+    return mdp
+
+
+class MdpPlanner(Planner):
+    """Chooses each issue's countermeasure from the repair MDP's policy.
+
+    Per-(device, service) success estimates adapt with executor feedback:
+    a failed restart lowers the believed restart success probability
+    (simple Beta-like update), so the policy naturally escalates to
+    migration once restarts look hopeless -- the rule ladder *emerges*
+    from the model instead of being hard-coded.
+    """
+
+    def __init__(self, model: Optional[RepairModel] = None) -> None:
+        self.model = model or RepairModel()
+        self.model.validate()
+        # (target|service) -> (successes+1, failures+1) pseudo-counts.
+        self._restart_counts: Dict[str, List[int]] = {}
+        self.decisions: List[str] = []
+
+    # -- planning ---------------------------------------------------------------#
+    def plan(self, issues: List[Issue], knowledge: KnowledgeBase, now: float) -> Plan:
+        plan = Plan()
+        for issue in issues:
+            action = self._plan_issue(issue, knowledge)
+            if action is not None:
+                plan.actions.append(action)
+                plan.addressed.append(issue)
+        return plan
+
+    def _plan_issue(self, issue: Issue, knowledge: KnowledgeBase) -> Optional[Action]:
+        destination = self._pick_host(knowledge, exclude=issue.subject)
+        can_migrate = destination is not None
+        if issue.kind == "service-failed":
+            model = self._believed_model(issue)
+            mdp = build_service_repair_mdp(model, can_migrate)
+            _values, policy = mdp.value_iteration()
+            choice = policy["failed"]
+            self.decisions.append(f"{issue.subject}:{choice}")
+            if choice == "restart":
+                return RestartServiceAction(target=issue.subject,
+                                            service=issue.service)
+            if choice == "migrate":
+                return MigrateServiceAction(target=issue.subject,
+                                            service=issue.service,
+                                            destination=destination)
+            return None
+        if issue.kind == "device-down":
+            mdp = build_device_repair_mdp(self.model, can_migrate=False)
+            _values, policy = mdp.value_iteration()
+            choice = policy["down"]
+            self.decisions.append(f"{issue.subject}:{choice}")
+            if choice == "reboot":
+                return RebootDeviceAction(target=issue.subject)
+            return None
+        return None
+
+    # -- belief updates ------------------------------------------------------- #
+    def record_outcome(self, action: Action, success: bool) -> None:
+        if isinstance(action, RestartServiceAction):
+            key = f"{action.target}|{action.service}"
+            counts = self._restart_counts.setdefault(key, [1, 1])
+            counts[0 if success else 1] += 1
+
+    def _believed_model(self, issue: Issue) -> RepairModel:
+        key = f"{issue.subject}|{issue.service}"
+        counts = self._restart_counts.get(key)
+        if counts is None:
+            return self.model
+        successes, failures = counts
+        believed = successes / (successes + failures)
+        return RepairModel(
+            restart_success=believed,
+            migrate_success=self.model.migrate_success,
+            reboot_success=self.model.reboot_success,
+            restart_cost=self.model.restart_cost,
+            migrate_cost=self.model.migrate_cost,
+            reboot_cost=self.model.reboot_cost,
+            wait_cost=self.model.wait_cost,
+            healthy_reward=self.model.healthy_reward,
+        )
+
+    def _pick_host(self, knowledge: KnowledgeBase, exclude: str) -> Optional[str]:
+        best, best_load = None, float("inf")
+        for snapshot in knowledge.snapshots():
+            if snapshot.device_id == exclude or not snapshot.up:
+                continue
+            load = len(snapshot.running_services)
+            if load < best_load:
+                best, best_load = snapshot.device_id, load
+        return best

@@ -1,0 +1,262 @@
+"""Decentralized MAPE coordination patterns.
+
+§V.A: "Information sharing patterns where each entity self-adapts locally
+by implementing its own MAPE-K loop -- using information from other
+entities in the system -- is a characteristic self-adaptive view."  This
+module implements two of the classic decentralized-MAPE patterns (Weyns
+et al.'s catalogue) on top of :class:`~repro.adaptation.mape.MapeLoop`:
+
+* :class:`InformationSharing` -- each loop publishes digests of its
+  knowledge into a gossip overlay and imports peers' digests for devices
+  it cannot currently observe itself.  A loop that goes blind (partition)
+  keeps a usable, attributed view of the world -- and, crucially, a peer
+  whose *executor* can still reach an ailing device can repair it even
+  though the device's own manager is gone.
+* :class:`RegionalPlanning` -- local monitors+analyzers, one elected
+  regional planner: issue digests flow up, plans flow back down to local
+  executors.  (The election uses the bully protocol; the region re-plans
+  through leader loss.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.adaptation.knowledge import DeviceSnapshot, Issue
+from repro.adaptation.mape import MapeLoop
+from repro.coordination.election import BullyElection
+from repro.coordination.gossip import GossipNode
+from repro.simulation.kernel import Simulator
+
+
+def _encode_snapshot(snapshot: DeviceSnapshot) -> dict:
+    return {
+        "device_id": snapshot.device_id,
+        "observed_at": snapshot.observed_at,
+        "up": snapshot.up,
+        "battery_fraction": snapshot.battery_fraction,
+        "running": sorted(snapshot.running_services),
+        "failed": sorted(snapshot.failed_services),
+        "location": snapshot.location,
+        "domain": snapshot.domain,
+    }
+
+
+def _decode_snapshot(data: dict) -> DeviceSnapshot:
+    return DeviceSnapshot(
+        device_id=data["device_id"],
+        observed_at=data["observed_at"],
+        up=data["up"],
+        battery_fraction=data["battery_fraction"],
+        running_services=frozenset(data["running"]),
+        failed_services=frozenset(data["failed"]),
+        location=data.get("location", ""),
+        domain=data.get("domain", ""),
+    )
+
+
+class InformationSharing:
+    """Knowledge exchange among peer MAPE loops via gossip.
+
+    Each participating loop's host runs a :class:`GossipNode`; the pattern
+    periodically publishes the loop's fresh snapshots and imports peers'
+    snapshots that are *newer* than what the local knowledge base holds.
+    Optionally (``adopt_orphans``), a loop extends its scope to devices it
+    learns about whose snapshots have gone stale everywhere -- peer
+    takeover, the decentralization payoff.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        loop: MapeLoop,
+        gossip: GossipNode,
+        share_period: float = 1.0,
+        adopt_orphans: bool = False,
+        orphan_staleness: float = 5.0,
+    ) -> None:
+        self.sim = sim
+        self.loop = loop
+        self.gossip = gossip
+        self.share_period = share_period
+        self.adopt_orphans = adopt_orphans
+        self.orphan_staleness = orphan_staleness
+        self.shared = 0
+        self.imported = 0
+        self.adopted: List[str] = []
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.gossip.start()
+        self._tick(self.sim)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self, sim: Simulator) -> None:
+        if not self._running:
+            return
+        if self.loop.network.node_up(self.loop.host):
+            self._publish()
+            self._import(sim.now)
+        sim.schedule(self.share_period, self._tick,
+                     label=f"share:{self.loop.host}")
+
+    # -- publish ------------------------------------------------------------ #
+    def _publish(self) -> None:
+        for snapshot in self.loop.knowledge.snapshots():
+            key = f"obs/{snapshot.device_id}"
+            existing = self.gossip.get(key)
+            if existing is None or existing["observed_at"] < snapshot.observed_at:
+                self.gossip.set(key, _encode_snapshot(snapshot))
+                self.shared += 1
+
+    # -- import --------------------------------------------------------------- #
+    def _import(self, now: float) -> None:
+        for key in self.gossip.keys:
+            if not key.startswith("obs/"):
+                continue
+            data = self.gossip.get(key)
+            if not isinstance(data, dict):
+                continue
+            snapshot = _decode_snapshot(data)
+            device_id = snapshot.device_id
+            local = self.loop.knowledge.snapshot(device_id)
+            in_scope = device_id in self.loop.scope
+            if in_scope:
+                # Secondhand knowledge fills gaps when our own is older.
+                if local is None or local.observed_at < snapshot.observed_at:
+                    self.loop.knowledge.observe(snapshot)
+                    self.imported += 1
+            elif self.adopt_orphans:
+                self._maybe_adopt(device_id, snapshot, now)
+
+    def _maybe_adopt(self, device_id: str, snapshot: DeviceSnapshot,
+                     now: float) -> None:
+        # Adopt a device whose published observation has gone stale: its
+        # own manager is presumably blind or dead, and we can reach it.
+        if device_id == self.loop.host or device_id in self.loop.scope:
+            return
+        if now - snapshot.observed_at < self.orphan_staleness:
+            return
+        if not self.loop.network.topology.reachable(self.loop.host, device_id):
+            return
+        self.loop.scope.append(device_id)
+        self.loop.knowledge.scope.append(device_id)
+        self.loop.knowledge.observe(snapshot)
+        self.adopted.append(device_id)
+
+
+class RegionalPlanning:
+    """Local M+A, elected regional P, local E.
+
+    Every site loop runs normally but with planning *disabled* (an empty
+    planner); analyzers' open issues are published into gossip.  The
+    bully-elected regional planner collects all sites' issues, runs the
+    real planner over the merged view, and routes each action to the loop
+    whose scope contains the target (that loop's executor applies it).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        loops: Dict[str, MapeLoop],
+        gossips: Dict[str, GossipNode],
+        planner,
+        period: float = 1.0,
+    ) -> None:
+        hosts = sorted(loops)
+        if set(loops) != set(gossips):
+            raise ValueError("loops and gossips must cover the same hosts")
+        self.sim = sim
+        self.loops = loops
+        self.gossips = gossips
+        self.planner = planner
+        self.period = period
+        self.elections = {
+            host: BullyElection(sim, loops[host].network, host, hosts)
+            for host in hosts
+        }
+        self.plans_made = 0
+        self.actions_routed = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        for gossip in self.gossips.values():
+            gossip.start()
+        first = sorted(self.loops)[0]
+        self.elections[first].start_election()
+        self._tick(self.sim)
+
+    def _tick(self, sim: Simulator) -> None:
+        if not self._running:
+            return
+        self._publish_issues()
+        leader = self._current_leader()
+        if leader is not None:
+            self._plan_regionally(leader, sim.now)
+        sim.schedule(self.period, self._tick, label="regional-planning")
+
+    def _publish_issues(self) -> None:
+        for host, loop in self.loops.items():
+            if not loop.network.node_up(host):
+                continue
+            issues = [
+                {"kind": i.kind, "subject": i.subject, "severity": i.severity,
+                 "service": i.service, "detected_at": i.detected_at}
+                for i in loop.knowledge.open_issues()
+            ]
+            self.gossips[host].set(f"issues/{host}", issues)
+
+    def _current_leader(self) -> Optional[str]:
+        alive = [h for h, loop in self.loops.items()
+                 if loop.network.node_up(h)]
+        if not alive:
+            return None
+        # Bully semantics (highest live id); the election protocol keeps
+        # the `leader` fields converging to the same answer.
+        return max(alive)
+
+    def _plan_regionally(self, leader: str, now: float) -> None:
+        gossip = self.gossips[leader]
+        merged: List[Issue] = []
+        for key in gossip.keys:
+            if not key.startswith("issues/"):
+                continue
+            for data in gossip.get(key) or ():
+                merged.append(Issue(
+                    kind=data["kind"], subject=data["subject"],
+                    detected_at=data["detected_at"],
+                    severity=data["severity"], service=data["service"],
+                ))
+        if not merged:
+            return
+        # Plan over the leader's knowledge (it imports via gossip too when
+        # combined with InformationSharing; standalone it still plans for
+        # its own scope plus routed subjects).
+        plan = self.planner.plan(merged, self.loops[leader].knowledge, now)
+        if plan.empty:
+            return
+        self.plans_made += 1
+        for action in plan.actions:
+            executor_loop = self._loop_for(action.target)
+            if executor_loop is None:
+                continue
+            results = executor_loop.executor.execute([action])
+            self.actions_routed += 1
+            if results[0].success:
+                executor_loop.knowledge.close_matching(
+                    "service-failed", action.target,
+                    getattr(action, "service", None))
+
+    def _loop_for(self, device_id: str) -> Optional[MapeLoop]:
+        for host, loop in self.loops.items():
+            if device_id in loop.scope and loop.network.node_up(host):
+                return loop
+        return None

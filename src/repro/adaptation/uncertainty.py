@@ -1,0 +1,191 @@
+"""Uncertainty taxonomy and confidence-weighted knowledge.
+
+§V.A: "one taxonomy classifies types of uncertainties by the place where
+they manifest, their uncertainty level, and their nature -- i.e., whether
+the uncertainty is because of imperfect knowledge or variability."
+(Perez-Palacin & Mirandola / Weyns et al.'s classification.)  This module
+provides:
+
+* the taxonomy itself (:class:`Uncertainty`, :class:`UncertaintySource`,
+  :class:`UncertaintyNature`, :class:`UncertaintyLevel`) with a registry
+  that adaptation components annotate;
+* :class:`KnowledgeConfidence` -- operationalized epistemic uncertainty:
+  a per-device confidence in [0, 1] that decays with observation age and
+  collapses for secondhand observations, used to *gate actuation* ("acting
+  under low confidence violates the accordance-with-constraints principle",
+  §VII.B);
+* :class:`ConfidenceGatedPlanner` -- wraps any planner, dropping actions
+  whose target the loop is not confident about.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.adaptation.knowledge import Issue, KnowledgeBase
+from repro.adaptation.planner import Plan, Planner
+
+
+class UncertaintySource(enum.Enum):
+    """Where the uncertainty manifests (the 'place' dimension)."""
+
+    ENVIRONMENT = "environment"        # sensing noise, human activity
+    MODEL = "model"                    # abstraction gaps in the runtime model
+    ADAPTATION = "adaptation"          # effects of adaptation actions
+    GOALS = "goals"                    # requirements change / conflict
+
+
+class UncertaintyNature(enum.Enum):
+    """Why it exists."""
+
+    EPISTEMIC = "epistemic"            # imperfect knowledge: reducible
+    VARIABILITY = "variability"        # inherent randomness: irreducible
+
+
+class UncertaintyLevel(enum.IntEnum):
+    """Orders of ignorance (condensed)."""
+
+    KNOWN_PARAMETERS = 1       # known model, uncertain parameter values
+    KNOWN_ALTERNATIVES = 2     # a known set of possible behaviours
+    UNKNOWN_OUTCOMES = 3       # outcomes outside any anticipated set
+
+
+@dataclass(frozen=True)
+class Uncertainty:
+    """A classified uncertainty affecting the managed system."""
+
+    name: str
+    source: UncertaintySource
+    nature: UncertaintyNature
+    level: UncertaintyLevel
+    description: str = ""
+
+
+class UncertaintyRegistry:
+    """The system's catalogue of acknowledged uncertainties."""
+
+    def __init__(self) -> None:
+        self._items: Dict[str, Uncertainty] = {}
+
+    def register(self, uncertainty: Uncertainty) -> Uncertainty:
+        if uncertainty.name in self._items:
+            raise ValueError(f"uncertainty {uncertainty.name!r} already registered")
+        self._items[uncertainty.name] = uncertainty
+        return uncertainty
+
+    def get(self, name: str) -> Uncertainty:
+        return self._items[name]
+
+    def by_source(self, source: UncertaintySource) -> List[Uncertainty]:
+        return sorted((u for u in self._items.values() if u.source == source),
+                      key=lambda u: u.name)
+
+    def by_nature(self, nature: UncertaintyNature) -> List[Uncertainty]:
+        return sorted((u for u in self._items.values() if u.nature == nature),
+                      key=lambda u: u.name)
+
+    def reducible(self) -> List[Uncertainty]:
+        """Epistemic uncertainties: candidates for more monitoring."""
+        return self.by_nature(UncertaintyNature.EPISTEMIC)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._items)
+
+
+#: The default uncertainties every IoT deployment of this library carries
+#: (the paper's running concerns, classified).
+DEFAULT_UNCERTAINTIES: List[Uncertainty] = [
+    Uncertainty("sensing-noise", UncertaintySource.ENVIRONMENT,
+                UncertaintyNature.VARIABILITY, UncertaintyLevel.KNOWN_PARAMETERS,
+                "sensor readings carry stochastic noise"),
+    Uncertainty("connectivity", UncertaintySource.ENVIRONMENT,
+                UncertaintyNature.VARIABILITY, UncertaintyLevel.KNOWN_ALTERNATIVES,
+                "links drop, partition and recover unpredictably"),
+    Uncertainty("stale-knowledge", UncertaintySource.MODEL,
+                UncertaintyNature.EPISTEMIC, UncertaintyLevel.KNOWN_PARAMETERS,
+                "the runtime model lags the system by the observation age"),
+    Uncertainty("action-outcome", UncertaintySource.ADAPTATION,
+                UncertaintyNature.VARIABILITY, UncertaintyLevel.KNOWN_ALTERNATIVES,
+                "reboots and migrations may fail"),
+    Uncertainty("emergent-behaviour", UncertaintySource.GOALS,
+                UncertaintyNature.EPISTEMIC, UncertaintyLevel.UNKNOWN_OUTCOMES,
+                "unforeseen behaviours may violate requirements (SVII)"),
+]
+
+
+def default_registry() -> UncertaintyRegistry:
+    registry = UncertaintyRegistry()
+    for uncertainty in DEFAULT_UNCERTAINTIES:
+        registry.register(uncertainty)
+    return registry
+
+
+# --------------------------------------------------------------------------- #
+# Operationalized epistemic uncertainty: knowledge confidence
+# --------------------------------------------------------------------------- #
+class KnowledgeConfidence:
+    """Confidence in the knowledge base's view of each device.
+
+    Confidence decays exponentially with observation age
+    (``exp(-age / half_life * ln 2)``), so a device observed one half-life
+    ago is trusted at 0.5.  Unobserved devices have confidence 0.
+    """
+
+    def __init__(self, half_life: float = 5.0) -> None:
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        self.half_life = half_life
+
+    def of(self, knowledge: KnowledgeBase, device_id: str, now: float) -> float:
+        age = knowledge.age_of(device_id, now)
+        if age is None:
+            return 0.0
+        return math.exp(-age / self.half_life * math.log(2.0))
+
+    def mean(self, knowledge: KnowledgeBase, now: float) -> float:
+        if not knowledge.scope:
+            return 1.0
+        return sum(self.of(knowledge, d, now) for d in knowledge.scope) \
+            / len(knowledge.scope)
+
+
+class ConfidenceGatedPlanner(Planner):
+    """Wraps a planner; drops actions on low-confidence targets.
+
+    The gate implements §VII.B's constraint that countermeasures must be
+    actuated "in accordance to constraints imposed by the application
+    domain": an action planned from badly stale knowledge is worse than
+    no action (it may fight a state that no longer exists).
+    """
+
+    def __init__(self, inner: Planner, confidence: KnowledgeConfidence,
+                 threshold: float = 0.5) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.inner = inner
+        self.confidence = confidence
+        self.threshold = threshold
+        self.gated_actions = 0
+
+    def plan(self, issues: List[Issue], knowledge: KnowledgeBase, now: float) -> Plan:
+        plan = self.inner.plan(issues, knowledge, now)
+        kept = []
+        for action in plan.actions:
+            if self.confidence.of(knowledge, action.target, now) >= self.threshold:
+                kept.append(action)
+            else:
+                self.gated_actions += 1
+        return Plan(actions=kept, addressed=plan.addressed)
+
+    def record_outcome(self, action, success: bool) -> None:
+        """Delegate executor feedback when the inner planner tracks it."""
+        record = getattr(self.inner, "record_outcome", None)
+        if record is not None:
+            record(action, success)

@@ -1,0 +1,48 @@
+"""Decentralized coordination (paper §V, Fig. 3).
+
+"For resilient IoT, coordination presupposes a general absence of
+centralized control, instead leveraging cooperation between software
+components, in a peer-to-peer fashion."  This package provides the
+distributed-systems mechanisms §V.B says must be adopted:
+
+* failure detection -- heartbeat and phi-accrual detectors
+  (:mod:`repro.coordination.failure_detector`);
+* membership -- SWIM-style dissemination of join/leave/suspect
+  (:mod:`repro.coordination.membership`);
+* epidemic state dissemination -- push-pull gossip
+  (:mod:`repro.coordination.gossip`);
+* leader election -- bully algorithm (:mod:`repro.coordination.election`);
+* consensus -- Raft with leader election, log replication and commit
+  (:mod:`repro.coordination.raft`);
+* service registry -- replicated, gossip-backed service discovery
+  (:mod:`repro.coordination.registry`).
+"""
+
+from repro.coordination.failure_detector import (
+    HeartbeatFailureDetector,
+    PhiAccrualFailureDetector,
+)
+from repro.coordination.membership import MemberState, MembershipProtocol
+from repro.coordination.gossip import GossipNode, GossipValue
+from repro.coordination.election import BullyElection
+from repro.coordination.raft import RaftNode, RaftRole, RaftCluster
+from repro.coordination.registry import ServiceRegistry, ServiceRecord
+from repro.coordination.lease import LeaseManager, LeaseState, start_lease_keeper
+
+__all__ = [
+    "BullyElection",
+    "GossipNode",
+    "GossipValue",
+    "HeartbeatFailureDetector",
+    "LeaseManager",
+    "LeaseState",
+    "MemberState",
+    "MembershipProtocol",
+    "PhiAccrualFailureDetector",
+    "RaftCluster",
+    "RaftNode",
+    "RaftRole",
+    "ServiceRecord",
+    "ServiceRegistry",
+    "start_lease_keeper",
+]

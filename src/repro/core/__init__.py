@@ -1,0 +1,62 @@
+"""The resilience framework: the paper's primary contribution made executable.
+
+Resilience is "the persistence of reliable requirements satisfaction when
+facing change" (§I).  Accordingly this package provides:
+
+* :mod:`repro.core.system` -- the :class:`IoTSystem` facade bundling the
+  substrate (simulator, network, fleet, faults, trace, metrics);
+* :mod:`repro.core.requirements` -- quantifiable requirement types
+  (availability, latency, freshness, privacy, coverage, control);
+* :mod:`repro.core.resilience` -- the resilience metric: per-requirement
+  satisfaction signals evaluated inside and outside disruption windows,
+  recovery times, and an aggregate score;
+* :mod:`repro.core.vectors` -- the five disruption vectors and four
+  maturity levels of Tables 1-2, as data;
+* :mod:`repro.core.maturity` -- runnable ML1-ML4 system archetypes over a
+  common workload (the executable form of Tables 1-2);
+* :mod:`repro.core.assessment` -- report construction and rendering.
+"""
+
+from repro.core.system import IoTSystem
+from repro.core.requirements import (
+    AvailabilityRequirement,
+    ControlAvailabilityRequirement,
+    CoverageRequirement,
+    FreshnessRequirement,
+    LatencyRequirement,
+    PrivacyRequirement,
+    Requirement,
+)
+from repro.core.resilience import (
+    RequirementAssessment,
+    ResilienceAnalyzer,
+    ResilienceReport,
+)
+from repro.core.vectors import (
+    DISRUPTION_VECTORS,
+    MATURITY_TABLE,
+    DisruptionVector,
+    MaturityLevel,
+)
+from repro.core.maturity import MaturityScenario, ScenarioParams, run_maturity_comparison
+
+__all__ = [
+    "AvailabilityRequirement",
+    "ControlAvailabilityRequirement",
+    "CoverageRequirement",
+    "DISRUPTION_VECTORS",
+    "DisruptionVector",
+    "FreshnessRequirement",
+    "IoTSystem",
+    "LatencyRequirement",
+    "MATURITY_TABLE",
+    "MaturityLevel",
+    "MaturityScenario",
+    "PrivacyRequirement",
+    "Requirement",
+    "RequirementAssessment",
+    "ResilienceAnalyzer",
+    "ResilienceReport",
+    "ScenarioParams",
+    "run_maturity_comparison",
+]

@@ -1,0 +1,101 @@
+"""Bridging measured resilience into goal models.
+
+§IV's methodology runs: characterize resilience -> represent requirements
+-> validate.  The goal model (:mod:`repro.modeling.goals`) is the
+requirements representation; the resilience report
+(:mod:`repro.core.resilience`) is the measurement.  This bridge closes
+the loop: each requirement becomes a leaf goal whose status is set from
+its measured satisfaction, disruption windows become obstacles, and the
+root goal answers "is the system resilient" at the goals level --
+including which obstacle classes are critical (single points of failure
+in the goal graph).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.resilience import RequirementAssessment, ResilienceReport
+from repro.modeling.goals import Goal, GoalModel, GoalStatus, Obstacle, Refinement
+
+
+def goal_model_from_report(
+    report: ResilienceReport,
+    satisfied_threshold: float = 0.9,
+    denied_threshold: float = 0.5,
+    root_name: str = "resilient-system",
+) -> GoalModel:
+    """Build a goal model whose leaves mirror the report's requirements.
+
+    Leaf status per requirement, from its *under-disruption* satisfaction:
+
+    * >= ``satisfied_threshold`` -> SATISFIED (the requirement persisted);
+    * <  ``denied_threshold``    -> DENIED;
+    * in between (or unmeasured) -> UNKNOWN.
+
+    One obstacle per disruption window is attached to the requirements it
+    demonstrably dented (satisfaction under disruption below baseline by
+    more than 0.05) -- obstacle analysis then reports which disruptions
+    are critical to the root goal.
+    """
+    if not 0.0 <= denied_threshold <= satisfied_threshold <= 1.0:
+        raise ValueError("thresholds must satisfy 0 <= denied <= satisfied <= 1")
+    model = GoalModel(root_name)
+    model.add_goal(Goal(root_name,
+                        description="persistence of requirements satisfaction"))
+    leaf_names: List[str] = []
+    for assessment in report.assessments:
+        leaf = f"req:{assessment.name}"
+        model.add_goal(Goal(leaf, description=assessment.name,
+                            priority=int(assessment.weight)))
+        leaf_names.append(leaf)
+        model.set_leaf_status(leaf, _status_of(assessment,
+                                               satisfied_threshold,
+                                               denied_threshold))
+    model.refine(root_name, leaf_names, refinement=Refinement.AND)
+    for index, (start, end) in enumerate(report.disruption_windows):
+        dented = [
+            f"req:{a.name}" for a in report.assessments
+            if _dented(a)
+        ]
+        model.add_obstacle(Obstacle(
+            name=f"disruption[{start:.0f}s-{end:.0f}s]#{index}",
+            obstructs=dented,
+            description=f"disruption window {start:.1f}..{end:.1f}s",
+        ))
+    return model
+
+
+def _status_of(assessment: RequirementAssessment,
+               satisfied_threshold: float,
+               denied_threshold: float) -> GoalStatus:
+    value = assessment.under_disruption
+    if value is None:
+        return GoalStatus.UNKNOWN
+    if value >= satisfied_threshold:
+        return GoalStatus.SATISFIED
+    if value < denied_threshold:
+        return GoalStatus.DENIED
+    return GoalStatus.UNKNOWN
+
+
+def _dented(assessment: RequirementAssessment) -> bool:
+    if assessment.baseline is None or assessment.under_disruption is None:
+        return False
+    return assessment.baseline - assessment.under_disruption > 0.05
+
+
+def resilience_verdict(model: GoalModel) -> Dict[str, object]:
+    """Summarize a bridged goal model for reporting."""
+    leaves = model.leaves()
+    return {
+        "root_status": model.status().value,
+        "satisfied_leaves": sorted(
+            g.name for g in leaves
+            if model.status(g.name) == GoalStatus.SATISFIED),
+        "denied_leaves": sorted(
+            g.name for g in leaves
+            if model.status(g.name) == GoalStatus.DENIED),
+        "critical_obstacles": sorted(
+            o.name for o in model.critical_obstacles()),
+    }

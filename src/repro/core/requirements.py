@@ -1,0 +1,193 @@
+"""Quantifiable requirements.
+
+A :class:`Requirement` maps a time window of a run to a satisfaction
+value in [0, 1] computed from the system's metric series and trace.  The
+types below cover the requirement concerns the paper enumerates --
+"reliability to performance or privacy" (§I), "timeliness, availability
+and privacy data characteristics ... expressed as quantitative logical
+properties" (§IV.B).
+
+Binary requirements (privacy) return {0, 1}; graded ones return the
+achieved fraction toward their target, capped at 1 -- so the resilience
+score degrades smoothly rather than cliff-edging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.simulation.metrics import MetricsRecorder
+from repro.simulation.trace import TraceLog
+
+
+@dataclass
+class EvaluationContext:
+    """Everything a requirement may consult."""
+
+    metrics: MetricsRecorder
+    trace: TraceLog
+
+
+class Requirement:
+    """Interface: satisfaction of a requirement over ``[start, end)``."""
+
+    name: str = "requirement"
+    weight: float = 1.0
+
+    def satisfaction(self, ctx: EvaluationContext, start: float, end: float) -> Optional[float]:
+        """Degree of satisfaction in [0,1]; None if nothing observable."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+def _ratio_toward(achieved: Optional[float], target: float) -> Optional[float]:
+    """Graded satisfaction: achieved/target capped to [0, 1]."""
+    if achieved is None:
+        return None
+    if target <= 0:
+        return 1.0
+    return max(0.0, min(1.0, achieved / target))
+
+
+@dataclass
+class AvailabilityRequirement(Requirement):
+    """Time-weighted mean of level series must reach ``target``.
+
+    ``series_names`` are level series (e.g. ``up:<device>`` or
+    ``service.healthy:<name>``); satisfaction is the mean availability
+    across them, graded against the target.
+    """
+
+    series_names: Sequence[str] = ()
+    target: float = 0.99
+    name: str = "availability"
+    weight: float = 1.0
+
+    def satisfaction(self, ctx: EvaluationContext, start: float, end: float) -> Optional[float]:
+        values: List[float] = []
+        for series_name in self.series_names:
+            if not ctx.metrics.has_series(series_name):
+                continue
+            mean = ctx.metrics.series(series_name).time_weighted_mean(start, end)
+            if mean is not None:
+                values.append(mean)
+        if not values:
+            return None
+        return _ratio_toward(sum(values) / len(values), self.target)
+
+
+@dataclass
+class LatencyRequirement(Requirement):
+    """The ``quantile`` of a latency sample series must be <= ``deadline``.
+
+    Satisfaction is the fraction of samples in the window meeting the
+    deadline, graded against the quantile target (e.g. target 0.95 with
+    93% of samples on time scores 0.93/0.95).
+    """
+
+    series_name: str = "latency"
+    deadline: float = 0.1
+    quantile: float = 0.95
+    name: str = "latency"
+    weight: float = 1.0
+
+    def satisfaction(self, ctx: EvaluationContext, start: float, end: float) -> Optional[float]:
+        if not ctx.metrics.has_series(self.series_name):
+            return None
+        samples = [v for _, v in ctx.metrics.series(self.series_name).window(start, end)]
+        if not samples:
+            return None
+        on_time = sum(1 for s in samples if s <= self.deadline) / len(samples)
+        return _ratio_toward(on_time, self.quantile)
+
+
+@dataclass
+class FreshnessRequirement(Requirement):
+    """Mean of a freshness (age) sample series must be <= ``max_age``.
+
+    Satisfaction is the fraction of freshness samples within the bound.
+    """
+
+    series_name: str = "data.freshness:key"
+    max_age: float = 5.0
+    name: str = "freshness"
+    weight: float = 1.0
+
+    def satisfaction(self, ctx: EvaluationContext, start: float, end: float) -> Optional[float]:
+        if not ctx.metrics.has_series(self.series_name):
+            return None
+        samples = [v for _, v in ctx.metrics.series(self.series_name).window(start, end)]
+        if not samples:
+            return None
+        return sum(1 for s in samples if s <= self.max_age) / len(samples)
+
+
+@dataclass
+class PrivacyRequirement(Requirement):
+    """Zero privacy violations in the window (binary).
+
+    Violations are trace events ``category="governance",
+    name="privacy-violation"`` -- emitted by archetypes that *detect* (or
+    post-hoc audit) flows breaching policy.  Enforced systems emit none.
+    """
+
+    name: str = "privacy"
+    weight: float = 1.0
+
+    def satisfaction(self, ctx: EvaluationContext, start: float, end: float) -> Optional[float]:
+        violations = ctx.trace.select(
+            category="governance", name="privacy-violation", start=start, end=end
+        )
+        return 0.0 if violations else 1.0
+
+
+@dataclass
+class CoverageRequirement(Requirement):
+    """A counter-rate requirement: events/second must reach ``target_rate``.
+
+    Used for sensing coverage -- expected readings delivered per second at
+    the processing service.  Reads a sample series where each delivered
+    reading appended 1.0.
+    """
+
+    series_name: str = "ingest"
+    target_rate: float = 1.0
+    name: str = "coverage"
+    weight: float = 1.0
+
+    def satisfaction(self, ctx: EvaluationContext, start: float, end: float) -> Optional[float]:
+        if end <= start or not ctx.metrics.has_series(self.series_name):
+            return None
+        count = len(ctx.metrics.series(self.series_name).window(start, end))
+        rate = count / (end - start)
+        return _ratio_toward(rate, self.target_rate)
+
+
+@dataclass
+class ControlAvailabilityRequirement(Requirement):
+    """Devices must be under *working* control (§V's control availability).
+
+    Reads level series ``controlled:<device>`` (1 while some control loop
+    has recently observed the device); satisfaction is the mean controlled
+    fraction over the window, graded against the target.
+    """
+
+    series_names: Sequence[str] = ()
+    target: float = 0.95
+    name: str = "control-availability"
+    weight: float = 1.0
+
+    def satisfaction(self, ctx: EvaluationContext, start: float, end: float) -> Optional[float]:
+        values = []
+        for series_name in self.series_names:
+            if not ctx.metrics.has_series(series_name):
+                continue
+            mean = ctx.metrics.series(series_name).time_weighted_mean(start, end)
+            if mean is not None:
+                values.append(mean)
+        if not values:
+            return None
+        return _ratio_toward(sum(values) / len(values), self.target)

@@ -1,0 +1,61 @@
+"""Inter-IoT data flows (paper §VI, Fig. 4).
+
+Data in resilient IoT "flows from device to device in a bidirectional
+manner, and among different data consumers and producers", traversing
+"computational resources of diverse administrative domains and different
+levels of trust".  This package provides:
+
+* data items with provenance/lineage (:mod:`repro.data.item`,
+  :mod:`repro.data.lineage`) -- "methodologically follow the data lineage
+  within IoT";
+* conflict-free replicated data types (:mod:`repro.data.crdt`) -- the
+  decentralized synchronization substrate (no coordinator needed to merge);
+* an anti-entropy replica synchronizer (:mod:`repro.data.sync`);
+* topic-based publish/subscribe messaging (:mod:`repro.data.pubsub`);
+* the three data-quality dimensions Fig. 4 highlights -- timeliness,
+  availability, (and freshness as their operational proxy)
+  (:mod:`repro.data.quality`).
+
+Privacy -- the third Fig. 4 dimension -- is enforced by
+:mod:`repro.governance` policies hooked into the synchronizer.
+"""
+
+from repro.data.item import DataItem, DataSensitivity
+from repro.data.lineage import LineageEvent, LineageTracker
+from repro.data.crdt import (
+    Crdt,
+    GCounter,
+    GSet,
+    LWWMap,
+    LWWRegister,
+    ORSet,
+    PNCounter,
+)
+from repro.data.sync import ReplicaStore, SyncProtocol
+from repro.data.pubsub import Broker, PubSubNode
+from repro.data.quality import DataQualityMonitor
+from repro.data.causal import CausalBroadcast, VectorClock
+from repro.data.quorum import QuorumClient, QuorumReplica
+
+__all__ = [
+    "Broker",
+    "CausalBroadcast",
+    "Crdt",
+    "DataItem",
+    "DataQualityMonitor",
+    "DataSensitivity",
+    "GCounter",
+    "GSet",
+    "LWWMap",
+    "LWWRegister",
+    "LineageEvent",
+    "LineageTracker",
+    "ORSet",
+    "PNCounter",
+    "PubSubNode",
+    "QuorumClient",
+    "QuorumReplica",
+    "ReplicaStore",
+    "SyncProtocol",
+    "VectorClock",
+]

@@ -1,0 +1,296 @@
+"""Conflict-free replicated data types.
+
+CRDTs are the concrete answer to §VI.B's call for "novel applications of
+data synchronization ... in a decentralized manner": replicas accept local
+writes while partitioned and merge deterministically on reconnection,
+with no coordinator.  All types here are state-based (CvRDTs); ``merge``
+is a join on the respective semilattice, so it is idempotent, commutative
+and associative -- properties the hypothesis test-suite checks directly.
+
+Implemented types:
+
+* :class:`GCounter` / :class:`PNCounter` -- grow-only / up-down counters;
+* :class:`GSet` / :class:`ORSet` -- grow-only set and observed-remove set
+  (remove wins only over *observed* adds);
+* :class:`LWWRegister` / :class:`LWWMap` -- last-writer-wins register and
+  map with (timestamp, replica-id) total order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generic, Iterator, Optional, Set, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class Crdt:
+    """Common interface: ``merge`` joins another replica's state in place."""
+
+    def merge(self, other: "Crdt") -> None:
+        raise NotImplementedError
+
+    def copy(self) -> "Crdt":
+        raise NotImplementedError
+
+
+class GCounter(Crdt):
+    """Grow-only counter: per-replica increment slots, value = sum, merge = slot-wise max."""
+
+    def __init__(self, replica_id: str) -> None:
+        self.replica_id = replica_id
+        self._slots: Dict[str, int] = {}
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("GCounter cannot decrease; use PNCounter")
+        if amount == 0:
+            # No-op: creating a zero slot would make structurally unequal
+            # states that are semantically identical, breaking merge laws.
+            return
+        self._slots[self.replica_id] = self._slots.get(self.replica_id, 0) + amount
+
+    @property
+    def value(self) -> int:
+        return sum(self._slots.values())
+
+    def merge(self, other: "GCounter") -> None:
+        for replica, count in other._slots.items():
+            if count > self._slots.get(replica, 0):
+                self._slots[replica] = count
+
+    def copy(self) -> "GCounter":
+        clone = GCounter(self.replica_id)
+        clone._slots = dict(self._slots)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GCounter) and self._slots == other._slots
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"GCounter({self.value})"
+
+
+class PNCounter(Crdt):
+    """Increment/decrement counter as a pair of GCounters."""
+
+    def __init__(self, replica_id: str) -> None:
+        self.replica_id = replica_id
+        self._pos = GCounter(replica_id)
+        self._neg = GCounter(replica_id)
+
+    def increment(self, amount: int = 1) -> None:
+        self._pos.increment(amount)
+
+    def decrement(self, amount: int = 1) -> None:
+        self._neg.increment(amount)
+
+    @property
+    def value(self) -> int:
+        return self._pos.value - self._neg.value
+
+    def merge(self, other: "PNCounter") -> None:
+        self._pos.merge(other._pos)
+        self._neg.merge(other._neg)
+
+    def copy(self) -> "PNCounter":
+        clone = PNCounter(self.replica_id)
+        clone._pos = self._pos.copy()
+        clone._neg = self._neg.copy()
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PNCounter)
+            and self._pos == other._pos
+            and self._neg == other._neg
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PNCounter({self.value})"
+
+
+class GSet(Crdt, Generic[T]):
+    """Grow-only set; merge = union."""
+
+    def __init__(self) -> None:
+        self._items: Set[T] = set()
+
+    def add(self, item: T) -> None:
+        self._items.add(item)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> Set[T]:
+        return set(self._items)
+
+    def merge(self, other: "GSet") -> None:
+        self._items |= other._items
+
+    def copy(self) -> "GSet":
+        clone: GSet = GSet()
+        clone._items = set(self._items)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GSet) and self._items == other._items
+
+
+class ORSet(Crdt, Generic[T]):
+    """Observed-remove set.
+
+    Each add creates a unique tag; remove tombstones exactly the tags the
+    removing replica has *observed*.  A concurrent re-add (new tag) thus
+    survives the remove -- "add wins" for concurrent operations, the
+    behaviour that keeps device registrations from being lost to stale
+    removals during partitions.
+    """
+
+    def __init__(self, replica_id: str) -> None:
+        self.replica_id = replica_id
+        self._counter = itertools.count()
+        self._adds: Set[Tuple[T, str]] = set()        # (item, tag)
+        self._tombstones: Set[Tuple[T, str]] = set()
+
+    def _new_tag(self) -> str:
+        return f"{self.replica_id}:{next(self._counter)}"
+
+    def add(self, item: T) -> None:
+        self._adds.add((item, self._new_tag()))
+
+    def remove(self, item: T) -> None:
+        observed = {(i, tag) for (i, tag) in self._adds if i == item}
+        self._tombstones |= observed
+
+    def __contains__(self, item: T) -> bool:
+        return any(
+            entry not in self._tombstones and entry[0] == item
+            for entry in self._adds
+        )
+
+    @property
+    def items(self) -> Set[T]:
+        return {i for (i, tag) in self._adds if (i, tag) not in self._tombstones}
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def merge(self, other: "ORSet") -> None:
+        self._adds |= other._adds
+        self._tombstones |= other._tombstones
+
+    def copy(self) -> "ORSet":
+        clone: ORSet = ORSet(self.replica_id)
+        clone._counter = itertools.count(next(self._counter))
+        clone._adds = set(self._adds)
+        clone._tombstones = set(self._tombstones)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ORSet)
+            and self._adds == other._adds
+            and self._tombstones == other._tombstones
+        )
+
+
+class LWWRegister(Crdt, Generic[T]):
+    """Last-writer-wins register ordered by (timestamp, replica_id)."""
+
+    def __init__(self, replica_id: str) -> None:
+        self.replica_id = replica_id
+        self._value: Optional[T] = None
+        self._stamp: Tuple[float, str] = (float("-inf"), "")
+
+    def set(self, value: T, timestamp: float) -> None:
+        stamp = (timestamp, self.replica_id)
+        if stamp >= self._stamp:
+            self._value = value
+            self._stamp = stamp
+
+    @property
+    def value(self) -> Optional[T]:
+        return self._value
+
+    @property
+    def timestamp(self) -> float:
+        return self._stamp[0]
+
+    def merge(self, other: "LWWRegister") -> None:
+        if other._stamp > self._stamp:
+            self._value = other._value
+            self._stamp = other._stamp
+
+    def copy(self) -> "LWWRegister":
+        clone: LWWRegister = LWWRegister(self.replica_id)
+        clone._value = self._value
+        clone._stamp = self._stamp
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LWWRegister)
+            and self._value == other._value
+            and self._stamp == other._stamp
+        )
+
+
+class LWWMap(Crdt):
+    """A map of LWW-resolved keys (delete is a timestamped tombstone)."""
+
+    _TOMBSTONE = object()
+
+    def __init__(self, replica_id: str) -> None:
+        self.replica_id = replica_id
+        self._entries: Dict[str, Tuple[Any, Tuple[float, str]]] = {}
+
+    def set(self, key: str, value: Any, timestamp: float) -> None:
+        self._put(key, value, (timestamp, self.replica_id))
+
+    def delete(self, key: str, timestamp: float) -> None:
+        self._put(key, self._TOMBSTONE, (timestamp, self.replica_id))
+
+    def _put(self, key: str, value: Any, stamp: Tuple[float, str]) -> None:
+        current = self._entries.get(key)
+        if current is None or stamp >= current[1]:
+            self._entries[key] = (value, stamp)
+
+    def get(self, key: str) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is None or entry[0] is self._TOMBSTONE:
+            return None
+        return entry[0]
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> Set[str]:
+        return {
+            k for k, (v, _stamp) in self._entries.items() if v is not self._TOMBSTONE
+        }
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def merge(self, other: "LWWMap") -> None:
+        for key, (value, stamp) in other._entries.items():
+            self._put(key, value, stamp)
+
+    def copy(self) -> "LWWMap":
+        clone = LWWMap(self.replica_id)
+        clone._entries = dict(self._entries)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LWWMap) and self._entries == other._entries

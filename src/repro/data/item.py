@@ -1,0 +1,105 @@
+"""Data items: the unit of inter-IoT data exchange.
+
+A :class:`DataItem` carries the metadata that §VI says governance needs:
+origin (producing device and domain), sensitivity, creation time, and a
+monotone version.  Privacy scopes (:mod:`repro.governance`) decide flows by
+looking at exactly these fields.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+class DataSensitivity(enum.IntEnum):
+    """Ordered sensitivity ladder; higher is more restricted.
+
+    The ordering forms the lattice that flow policies compare against
+    ("data at or above PERSONAL may not leave the jurisdiction").
+    """
+
+    PUBLIC = 0
+    INTERNAL = 1
+    PERSONAL = 2
+    SENSITIVE = 3
+
+
+_item_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """An immutable datum with provenance metadata.
+
+    Derivations (aggregation, anonymization) create new items linked to
+    their parents through ``parent_ids`` -- the lineage tracker uses this
+    to answer "where did this value come from".
+    """
+
+    key: str
+    value: Any
+    producer: str
+    domain: str
+    created_at: float
+    sensitivity: DataSensitivity = DataSensitivity.INTERNAL
+    item_id: int = field(default_factory=lambda: next(_item_ids))
+    parent_ids: Tuple[int, ...] = ()
+    subject: Optional[str] = None  # the person/asset the data is about
+
+    def derive(
+        self,
+        key: str,
+        value: Any,
+        producer: str,
+        domain: str,
+        created_at: float,
+        sensitivity: Optional[DataSensitivity] = None,
+        extra_parents: Tuple["DataItem", ...] = (),
+    ) -> "DataItem":
+        """Create a derived item; sensitivity defaults to the parent's
+        (derivations never silently *lower* sensitivity -- use
+        :meth:`anonymize` for that)."""
+        parents = (self.item_id,) + tuple(p.item_id for p in extra_parents)
+        new_sensitivity = sensitivity if sensitivity is not None else self.sensitivity
+        if sensitivity is not None and sensitivity < self.sensitivity:
+            raise ValueError(
+                "derive() cannot lower sensitivity; use anonymize()"
+            )
+        return DataItem(
+            key=key,
+            value=value,
+            producer=producer,
+            domain=domain,
+            created_at=created_at,
+            sensitivity=new_sensitivity,
+            parent_ids=parents,
+            subject=self.subject,
+        )
+
+    def anonymize(self, producer: str, created_at: float, value: Any = None) -> "DataItem":
+        """An explicitly anonymized derivation: PUBLIC, subject stripped.
+
+        This is the one sanctioned sensitivity-lowering operation --
+        modeling e.g. edge-side aggregation before data leaves a privacy
+        scope (§VI.B's mobile-phone-as-edge example).
+        """
+        return DataItem(
+            key=f"{self.key}#anon",
+            value=self.value if value is None else value,
+            producer=producer,
+            domain=self.domain,
+            created_at=created_at,
+            sensitivity=DataSensitivity.PUBLIC,
+            parent_ids=(self.item_id,),
+            subject=None,
+        )
+
+    @property
+    def is_derived(self) -> bool:
+        return bool(self.parent_ids)
+
+    def age(self, now: float) -> float:
+        return max(0.0, now - self.created_at)

@@ -1,0 +1,126 @@
+"""Data lineage tracking.
+
+§VI.B: "methodologically follow the data lineage within IoT -- data's
+origins, what happens to it and where it moves over time, and providing
+mechanisms for resilient data governance."  The tracker records item
+creation, derivation and movement events, and answers ancestry/flow
+queries -- including the governance audit question "did any item derived
+from subject X ever reach domain Y".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.data.item import DataItem
+
+
+@dataclass(frozen=True)
+class LineageEvent:
+    """One step in an item's history."""
+
+    time: float
+    action: str          # "created" | "derived" | "moved" | "denied"
+    item_id: int
+    location: str        # device where the action happened / destination
+    domain: str
+    detail: str = ""
+
+
+class LineageTracker:
+    """Append-only provenance graph over item ids."""
+
+    def __init__(self) -> None:
+        self._items: Dict[int, DataItem] = {}
+        self._events: List[LineageEvent] = []
+        self._parents: Dict[int, tuple] = {}
+
+    # -- recording ---------------------------------------------------------- #
+    def record_created(self, item: DataItem, time: float, location: str) -> None:
+        self._register(item)
+        action = "derived" if item.is_derived else "created"
+        self._events.append(LineageEvent(time, action, item.item_id, location, item.domain))
+
+    def record_moved(self, item: DataItem, time: float, dst_device: str, dst_domain: str) -> None:
+        self._register(item)
+        self._events.append(
+            LineageEvent(time, "moved", item.item_id, dst_device, dst_domain)
+        )
+
+    def record_denied(self, item: DataItem, time: float, dst_device: str,
+                      dst_domain: str, reason: str) -> None:
+        self._register(item)
+        self._events.append(
+            LineageEvent(time, "denied", item.item_id, dst_device, dst_domain, detail=reason)
+        )
+
+    def _register(self, item: DataItem) -> None:
+        if item.item_id not in self._items:
+            self._items[item.item_id] = item
+            self._parents[item.item_id] = item.parent_ids
+
+    # -- queries -------------------------------------------------------------- #
+    @property
+    def events(self) -> List[LineageEvent]:
+        return list(self._events)
+
+    def item(self, item_id: int) -> Optional[DataItem]:
+        return self._items.get(item_id)
+
+    def history(self, item_id: int) -> List[LineageEvent]:
+        return [e for e in self._events if e.item_id == item_id]
+
+    def ancestors(self, item_id: int) -> Set[int]:
+        """Transitive closure of parent links (excludes the item itself)."""
+        out: Set[int] = set()
+        frontier = list(self._parents.get(item_id, ()))
+        while frontier:
+            parent = frontier.pop()
+            if parent not in out:
+                out.add(parent)
+                frontier.extend(self._parents.get(parent, ()))
+        return out
+
+    def descendants(self, item_id: int) -> Set[int]:
+        out: Set[int] = set()
+        for candidate, parents in self._parents.items():
+            if item_id in self.ancestors(candidate) or item_id in parents:
+                out.add(candidate)
+        return out
+
+    def origins(self, item_id: int) -> List[DataItem]:
+        """Root (underived) ancestors of an item -- its true data sources."""
+        closure = self.ancestors(item_id) | {item_id}
+        return sorted(
+            (
+                self._items[i]
+                for i in closure
+                if i in self._items and not self._items[i].is_derived
+            ),
+            key=lambda item: item.item_id,
+        )
+
+    def domains_reached(self, item_id: int, include_descendants: bool = True) -> Set[str]:
+        """Every domain the item (or anything derived from it) moved into."""
+        ids = {item_id}
+        if include_descendants:
+            ids |= self.descendants(item_id)
+        return {
+            e.domain for e in self._events
+            if e.item_id in ids and e.action == "moved"
+        }
+
+    def subject_exposure(self, subject: str) -> Set[str]:
+        """Domains that received any item about ``subject`` (the audit
+        query GDPR-style accountability needs)."""
+        subject_ids = {
+            i for i, item in self._items.items() if item.subject == subject
+        }
+        out: Set[str] = set()
+        for item_id in subject_ids:
+            out |= self.domains_reached(item_id)
+        return out
+
+    def denial_count(self) -> int:
+        return sum(1 for e in self._events if e.action == "denied")

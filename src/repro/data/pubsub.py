@@ -1,0 +1,138 @@
+"""Topic-based publish/subscribe messaging.
+
+Two deployment styles, mirroring the centralized-vs-decentralized theme:
+
+* :class:`Broker` -- a single broker node (the ML1/ML2 pattern): subscribers
+  register at the broker; a broker outage silences every topic.
+* :class:`PubSubNode` -- brokerless: publishers unicast directly to the
+  subscribers they know from a shared (gossiped or static) subscription
+  view; no single point of failure.
+
+Both count end-to-end deliveries and latency so experiments can compare
+availability under disruption.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.network.transport import Message, Network
+from repro.simulation.kernel import Simulator
+
+Subscriber = Callable[[str, Any, float], None]  # (topic, payload, published_at)
+
+
+class Broker:
+    """Centralized pub/sub broker hosted on one node."""
+
+    def __init__(self, sim: Simulator, network: Network, node_id: str) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self._subscriptions: Dict[str, Set[str]] = defaultdict(set)
+        self.published = 0
+        self.forwarded = 0
+        network.register(node_id, "pubsub.publish", self._on_publish)
+        network.register(node_id, "pubsub.subscribe", self._on_subscribe)
+
+    def _on_subscribe(self, message: Message) -> None:
+        payload = message.payload
+        self._subscriptions[payload["topic"]].add(payload["subscriber"])
+
+    def _on_publish(self, message: Message) -> None:
+        payload = message.payload
+        topic = payload["topic"]
+        self.published += 1
+        for subscriber in sorted(self._subscriptions.get(topic, ())):
+            self.forwarded += 1
+            self.network.send(
+                self.node_id, subscriber, "pubsub.deliver",
+                payload=payload, size_bytes=message.size_bytes,
+            )
+
+
+class PubSubNode:
+    """A pub/sub endpoint; works against a broker or brokerless.
+
+    In brokerless mode the node keeps its own view of who subscribes to
+    what (fed by :meth:`add_remote_subscription`, typically wired to the
+    gossip registry) and fans out directly.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        broker: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.broker = broker
+        self._handlers: Dict[str, List[Subscriber]] = defaultdict(list)
+        self._remote_subs: Dict[str, Set[str]] = defaultdict(set)
+        self.delivered = 0
+        self.published = 0
+        self.latencies: List[float] = []
+        network.register(node_id, "pubsub.deliver", self._on_deliver)
+
+    # -- subscribing -------------------------------------------------------- #
+    def subscribe(self, topic: str, handler: Subscriber) -> None:
+        """Subscribe locally; announces to the broker when one is set."""
+        self._handlers[topic].append(handler)
+        if self.broker is not None:
+            self.network.send(
+                self.node_id, self.broker, "pubsub.subscribe",
+                payload={"topic": topic, "subscriber": self.node_id},
+                size_bytes=64,
+            )
+
+    def add_remote_subscription(self, topic: str, subscriber: str) -> None:
+        """Brokerless mode: learn that ``subscriber`` wants ``topic``."""
+        if subscriber != self.node_id:
+            self._remote_subs[topic].add(subscriber)
+
+    def remove_remote_subscription(self, topic: str, subscriber: str) -> None:
+        self._remote_subs[topic].discard(subscriber)
+
+    def subscribed_topics(self) -> List[str]:
+        return sorted(self._handlers)
+
+    # -- publishing ----------------------------------------------------------- #
+    def publish(self, topic: str, value: Any, size_bytes: int = 128) -> None:
+        self.published += 1
+        envelope = {
+            "topic": topic,
+            "value": value,
+            "published_at": self.sim.now,
+            "publisher": self.node_id,
+        }
+        if self.broker is not None:
+            self.network.send(self.node_id, self.broker, "pubsub.publish",
+                              payload=envelope, size_bytes=size_bytes)
+        else:
+            for subscriber in sorted(self._remote_subs.get(topic, ())):
+                self.network.send(self.node_id, subscriber, "pubsub.deliver",
+                                  payload=envelope, size_bytes=size_bytes)
+        # Local subscribers hear immediately either way.
+        self._fan_in(topic, envelope)
+
+    # -- delivery ------------------------------------------------------------- #
+    def _on_deliver(self, message: Message) -> None:
+        envelope = message.payload
+        self._fan_in(envelope["topic"], envelope)
+
+    def _fan_in(self, topic: str, envelope: dict) -> None:
+        handlers = self._handlers.get(topic, ())
+        if not handlers:
+            return
+        self.delivered += 1
+        self.latencies.append(self.sim.now - envelope["published_at"])
+        for handler in list(handlers):
+            handler(topic, envelope["value"], envelope["published_at"])
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0

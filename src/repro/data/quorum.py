@@ -1,0 +1,191 @@
+"""Quorum-replicated key-value store.
+
+The CP counterpart to the AP CRDT replication in :mod:`repro.data.sync`:
+a Dynamo-style store where writes succeed only after ``write_quorum``
+replica acks and reads consult ``read_quorum`` replicas, taking the
+highest-versioned value.  With ``R + W > N`` reads see the latest
+committed write -- but operations *block or fail* when a quorum is
+unreachable, which is exactly the availability trade-off the Fig. 4
+ablation measures against CRDTs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.network.transport import Message, Network
+from repro.simulation.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class Versioned:
+    """A value with a (version, writer) stamp; higher wins."""
+
+    value: Any
+    version: int
+    writer: str
+
+    def stamp(self) -> Tuple[int, str]:
+        return (self.version, self.writer)
+
+
+class QuorumReplica:
+    """One replica: serves remote read/write requests for the store."""
+
+    def __init__(self, sim: Simulator, network: Network, node_id: str) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.data: Dict[str, Versioned] = {}
+        network.register(node_id, "quorum.write", self._on_write)
+        network.register(node_id, "quorum.read", self._on_read)
+
+    def _on_write(self, message: Message) -> None:
+        payload = message.payload
+        key = payload["key"]
+        incoming = Versioned(payload["value"], payload["version"], payload["writer"])
+        current = self.data.get(key)
+        if current is None or incoming.stamp() > current.stamp():
+            self.data[key] = incoming
+        self.network.send(self.node_id, message.src, "quorum.write_ack",
+                          payload={"req": payload["req"], "from": self.node_id},
+                          size_bytes=48)
+
+    def _on_read(self, message: Message) -> None:
+        payload = message.payload
+        entry = self.data.get(payload["key"])
+        self.network.send(
+            self.node_id, message.src, "quorum.read_reply",
+            payload={
+                "req": payload["req"], "from": self.node_id,
+                "value": entry.value if entry else None,
+                "version": entry.version if entry else 0,
+                "writer": entry.writer if entry else "",
+            },
+            size_bytes=96,
+        )
+
+
+class QuorumClient:
+    """A client issuing quorum reads/writes from one node.
+
+    Operations are asynchronous: callers pass a callback receiving
+    ``(success, value_or_none)``; a timeout without quorum acks fails the
+    operation (counted in :attr:`failed_writes` / :attr:`failed_reads`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        replicas: List[str],
+        write_quorum: int,
+        read_quorum: int,
+        timeout: float = 1.0,
+    ) -> None:
+        n = len(replicas)
+        if not 1 <= write_quorum <= n or not 1 <= read_quorum <= n:
+            raise ValueError("quorums must be within [1, n_replicas]")
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.replicas = list(replicas)
+        self.write_quorum = write_quorum
+        self.read_quorum = read_quorum
+        self.timeout = timeout
+        self._req_ids = itertools.count()
+        self._pending: Dict[int, dict] = {}
+        self._version_counter = itertools.count(1)
+        self.succeeded_writes = 0
+        self.failed_writes = 0
+        self.succeeded_reads = 0
+        self.failed_reads = 0
+        network.register(node_id, "quorum.write_ack", self._on_write_ack)
+        network.register(node_id, "quorum.read_reply", self._on_read_reply)
+
+    # -- writes ------------------------------------------------------------ #
+    def write(self, key: str, value: Any,
+              callback: Optional[Callable[[bool], None]] = None) -> int:
+        """Write ``key``; success once ``write_quorum`` replicas ack."""
+        req = next(self._req_ids)
+        version = next(self._version_counter)
+        self._pending[req] = {"kind": "write", "acks": set(),
+                              "callback": callback, "done": False}
+        for replica in self.replicas:
+            self.network.send(
+                self.node_id, replica, "quorum.write",
+                payload={"req": req, "key": key, "value": value,
+                         "version": version, "writer": self.node_id},
+                size_bytes=128,
+            )
+        self.sim.schedule(self.timeout, lambda _s, r=req: self._expire(r),
+                          label=f"quorum-timeout:{self.node_id}")
+        return req
+
+    def _on_write_ack(self, message: Message) -> None:
+        payload = message.payload
+        state = self._pending.get(payload["req"])
+        if state is None or state["done"] or state["kind"] != "write":
+            return
+        state["acks"].add(payload["from"])
+        if len(state["acks"]) >= self.write_quorum:
+            state["done"] = True
+            self.succeeded_writes += 1
+            if state["callback"] is not None:
+                state["callback"](True)
+
+    # -- reads --------------------------------------------------------------- #
+    def read(self, key: str,
+             callback: Optional[Callable[[bool, Any], None]] = None) -> int:
+        """Read ``key``; success once ``read_quorum`` replies arrive; the
+        highest-versioned reply wins."""
+        req = next(self._req_ids)
+        self._pending[req] = {"kind": "read", "replies": [],
+                              "callback": callback, "done": False}
+        for replica in self.replicas:
+            self.network.send(self.node_id, replica, "quorum.read",
+                              payload={"req": req, "key": key}, size_bytes=64)
+        self.sim.schedule(self.timeout, lambda _s, r=req: self._expire(r),
+                          label=f"quorum-timeout:{self.node_id}")
+        return req
+
+    def _on_read_reply(self, message: Message) -> None:
+        payload = message.payload
+        state = self._pending.get(payload["req"])
+        if state is None or state["done"] or state["kind"] != "read":
+            return
+        state["replies"].append(payload)
+        if len(state["replies"]) >= self.read_quorum:
+            state["done"] = True
+            self.succeeded_reads += 1
+            best = max(state["replies"],
+                       key=lambda r: (r["version"], r["writer"]))
+            if state["callback"] is not None:
+                state["callback"](True, best["value"] if best["version"] else None)
+
+    # -- timeouts --------------------------------------------------------------#
+    def _expire(self, req: int) -> None:
+        state = self._pending.pop(req, None)
+        if state is None or state["done"]:
+            return
+        if state["kind"] == "write":
+            self.failed_writes += 1
+            if state["callback"] is not None:
+                state["callback"](False)
+        else:
+            self.failed_reads += 1
+            if state["callback"] is not None:
+                state["callback"](False, None)
+
+    @property
+    def write_availability(self) -> float:
+        total = self.succeeded_writes + self.failed_writes
+        return self.succeeded_writes / total if total else 1.0
+
+    @property
+    def read_availability(self) -> float:
+        total = self.succeeded_reads + self.failed_reads
+        return self.succeeded_reads / total if total else 1.0

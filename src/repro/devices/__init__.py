@@ -1,0 +1,30 @@
+"""Device models for the IoT landscape of Figure 1.
+
+The paper's device spectrum runs "from microcontrollers to mobile phones
+and micro-clouds" (§I).  Every device here is a software-hosting entity
+with explicit, heterogeneous resources (:class:`~repro.devices.resources.ResourcePool`)
+and a software stack (:class:`~repro.devices.software.SoftwareStack`) --
+the paper's observation that "IoT is increasingly made up of software" is
+the modeling premise.
+"""
+
+from repro.devices.resources import Battery, ResourcePool, ResourceSpec
+from repro.devices.software import Service, ServiceState, SoftwareStack
+from repro.devices.base import Device, DeviceClass, DEVICE_CLASS_SPECS
+from repro.devices.fleet import DeviceFleet
+from repro.devices.sensor import Actuator, Sensor
+
+__all__ = [
+    "Actuator",
+    "Battery",
+    "DEVICE_CLASS_SPECS",
+    "Device",
+    "DeviceClass",
+    "DeviceFleet",
+    "ResourcePool",
+    "ResourceSpec",
+    "Sensor",
+    "Service",
+    "ServiceState",
+    "SoftwareStack",
+]

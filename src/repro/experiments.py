@@ -1,0 +1,144 @@
+"""Reusable experiment runners shared by benchmarks and the CLI.
+
+Each function builds, disrupts and runs one of the Fig. 3 / Fig. 5
+comparisons and returns the live objects for measurement.  The benchmark
+files add timing and shape assertions; the CLI prints tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.adaptation import (
+    DeviceLivenessAnalyzer,
+    Executor,
+    MapeLoop,
+    RuleBasedPlanner,
+    ServiceHealthAnalyzer,
+    StaleKnowledgeAnalyzer,
+)
+from repro.core.system import IoTSystem
+from repro.devices.software import Service
+from repro.faults.models import PartitionFault, ServiceFailureFault
+
+# ------------------------------------------------------------------------- #
+# Fig. 3: centralized vs decentralized control
+# ------------------------------------------------------------------------- #
+FIG3_N_SITES = 3
+FIG3_DEVICES = 4
+FIG3_HORIZON = 90.0
+FIG3_OUTAGE = (30.0, 60.0)
+FIG3_STALENESS = 3.0
+
+
+def _make_loop(system: IoTSystem, host: str, scope: List[str],
+               extra_analyzers: Tuple = ()) -> MapeLoop:
+    return MapeLoop(
+        system.sim, system.network, system.fleet, host, scope,
+        analyzers=[ServiceHealthAnalyzer(), DeviceLivenessAnalyzer(),
+                   *extra_analyzers],
+        planner=RuleBasedPlanner(),
+        executor=Executor(system.sim, system.network, system.fleet, host,
+                          system.rngs.stream(f"exec:{host}"),
+                          trace=system.trace),
+        period=1.0, metrics=system.metrics, trace=system.trace,
+    )
+
+
+def run_control_architecture(architecture: str, seed: int = 11
+                             ) -> Tuple[IoTSystem, List[MapeLoop]]:
+    """Fig. 3: run the landscape under one control-plane architecture."""
+    if architecture not in ("centralized", "decentralized"):
+        raise ValueError(f"unknown architecture {architecture!r}")
+    system = IoTSystem.with_edge_cloud_landscape(FIG3_N_SITES, FIG3_DEVICES,
+                                                 seed=seed)
+    loops: List[MapeLoop] = []
+    if architecture == "centralized":
+        scope = [d for ds in system.sites.values() for d in ds]
+        loops.append(_make_loop(system, "cloud", scope))
+    else:
+        for edge, devices in sorted(system.sites.items()):
+            loops.append(_make_loop(system, edge, list(devices)))
+    for loop in loops:
+        loop.start()
+    _probe_control(system, loops)
+    system.injector.inject_at(FIG3_OUTAGE[0], PartitionFault(
+        name="cloud-outage", duration=FIG3_OUTAGE[1] - FIG3_OUTAGE[0],
+        isolate_node="cloud"))
+    system.run(until=FIG3_HORIZON)
+    return system, loops
+
+
+def _probe_control(system: IoTSystem, loops: List[MapeLoop]) -> None:
+    def probe(s):
+        now = s.now
+        for loop in loops:
+            for device_id in loop.scope:
+                age = loop.knowledge.age_of(device_id, now)
+                controlled = age is not None and age <= FIG3_STALENESS
+                system.metrics.set_level(f"controlled:{device_id}", now,
+                                         1.0 if controlled else 0.0)
+        s.schedule(0.5, probe)
+
+    system.sim.schedule(0.5, probe)
+
+
+def control_availability(system: IoTSystem, start: float, end: float) -> float:
+    """Mean time-weighted 'controlled' level across all probed devices."""
+    values = []
+    for name in system.metrics.series_names:
+        if name.startswith("controlled:"):
+            mean = system.metrics.series(name).time_weighted_mean(start, end)
+            if mean is not None:
+                values.append(mean)
+    return sum(values) / len(values) if values else 0.0
+
+
+# ------------------------------------------------------------------------- #
+# Fig. 5: MAPE loop placement
+# ------------------------------------------------------------------------- #
+FIG5_N_SITES = 2
+FIG5_DEVICES = 3
+FIG5_HORIZON = 80.0
+FIG5_OUTAGE = (30.0, 55.0)
+FIG5_FAULTS = [(10.0, "d0.0"), (40.0, "d1.0")]   # second fault lands mid-outage
+
+
+def run_mape_placement(placement: str, seed: int = 19
+                       ) -> Tuple[IoTSystem, List[MapeLoop]]:
+    """Fig. 5: identical faults under a cloud-hosted vs edge-hosted loop."""
+    if placement not in ("cloud", "edge"):
+        raise ValueError(f"unknown placement {placement!r}")
+    system = IoTSystem.with_edge_cloud_landscape(FIG5_N_SITES, FIG5_DEVICES,
+                                                 seed=seed)
+    for _, devices in sorted(system.sites.items()):
+        for device_id in devices:
+            system.fleet.get(device_id).host(Service(f"svc-{device_id}"))
+    loops: List[MapeLoop] = []
+    stale = (StaleKnowledgeAnalyzer(5.0),)
+    if placement == "cloud":
+        scope = [d for ds in system.sites.values() for d in ds]
+        loops.append(_make_loop(system, "cloud", scope, extra_analyzers=stale))
+    else:
+        for edge, devices in sorted(system.sites.items()):
+            loops.append(_make_loop(system, edge, list(devices),
+                                    extra_analyzers=stale))
+    for loop in loops:
+        loop.start()
+    system.injector.inject_at(FIG5_OUTAGE[0], PartitionFault(
+        name="cloud-outage", duration=FIG5_OUTAGE[1] - FIG5_OUTAGE[0],
+        isolate_node="cloud"))
+    for time, device in FIG5_FAULTS:
+        system.injector.inject_at(time, ServiceFailureFault(
+            name=f"svcfail:{device}", device_id=device,
+            service_name=f"svc-{device}"))
+    system.run(until=FIG5_HORIZON)
+    return system, loops
+
+
+def mape_repair_delays(system: IoTSystem, loops: List[MapeLoop]) -> List[float]:
+    delays: List[float] = []
+    for loop in loops:
+        delays.extend(loop.time_to_repair(system.trace,
+                                          fault_names=["service-failure"]))
+    return sorted(delays)

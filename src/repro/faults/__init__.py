@@ -1,0 +1,49 @@
+"""Fault injection and disruption scheduling.
+
+The paper defines disruption as "an adverse change to system stability ...
+external to the system (i.e. due to the environment) or internal to the
+system (i.e. due to a fault)" (§I).  This package implements every
+disruption class the paper names:
+
+* internal faults -> crash / crash-recovery / service failure
+  (:class:`~repro.faults.models.CrashFault`, ...)
+* non-persistent cloud connectivity -> partitions and latency spikes
+* transfer of administrative domains -> :class:`~repro.faults.models.DomainTransferFault`
+* untrusted circumstances -> :class:`~repro.faults.models.AdversarialEnvironmentFault`
+* resource constraints -> battery depletion
+
+Disruptions are either scheduled explicitly (:class:`~repro.faults.schedule.DisruptionSchedule`)
+for reproducible experiment scripts, or drawn from a seeded stochastic
+generator (:class:`~repro.faults.schedule.RandomDisruptionGenerator`).
+"""
+
+from repro.faults.models import (
+    AdversarialEnvironmentFault,
+    BatteryDepletionFault,
+    CrashFault,
+    CrashRecoveryFault,
+    DomainTransferFault,
+    Fault,
+    LatencySpikeFault,
+    LinkFailureFault,
+    PartitionFault,
+    ServiceFailureFault,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import DisruptionSchedule, RandomDisruptionGenerator
+
+__all__ = [
+    "AdversarialEnvironmentFault",
+    "BatteryDepletionFault",
+    "CrashFault",
+    "CrashRecoveryFault",
+    "DisruptionSchedule",
+    "DomainTransferFault",
+    "Fault",
+    "FaultInjector",
+    "LatencySpikeFault",
+    "LinkFailureFault",
+    "PartitionFault",
+    "RandomDisruptionGenerator",
+    "ServiceFailureFault",
+]

@@ -1,0 +1,82 @@
+"""The fault injector: applies faults to a live system.
+
+The injector is the single mutation point through which disruption reaches
+the system, so every adverse change is traced uniformly (``category
+"fault"`` / ``"recovery"``).  The resilience metric in :mod:`repro.core`
+derives disruption windows from exactly these trace events.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.devices.fleet import DeviceFleet
+from repro.faults.models import Fault
+from repro.network.partition import PartitionManager
+from repro.network.topology import Topology
+from repro.simulation.kernel import Simulator
+from repro.simulation.trace import TraceLog
+
+
+class FaultInjector:
+    """Applies :class:`~repro.faults.models.Fault` instances to a system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fleet: DeviceFleet,
+        topology: Topology,
+        partitions: Optional[PartitionManager] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.sim = sim
+        self.fleet = fleet
+        self.topology = topology
+        self.partitions = partitions
+        self.trace = trace
+        self.injected: List[Fault] = []
+        self._active: List[Fault] = []
+
+    def trace_emit(self, category: str, name: str, subject: str = "", **attrs) -> None:
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, category, name, subject=subject, **attrs)
+
+    # -- immediate injection ----------------------------------------------- #
+    def inject(self, fault: Fault) -> None:
+        """Apply a fault now; schedule its cessation if transient."""
+        fault.apply(self)
+        self.injected.append(fault)
+        self._active.append(fault)
+        self.trace_emit("injection", "fault-injected", subject=fault.name,
+                        fault_type=type(fault).__name__)
+        if fault.transient:
+            self.sim.schedule(
+                fault.duration,
+                lambda _s, f=fault: self._revert(f),
+                label=f"revert:{fault.name}",
+            )
+
+    def _revert(self, fault: Fault) -> None:
+        if fault in self._active:
+            fault.revert(self)
+            self._active.remove(fault)
+            self.trace_emit("injection", "fault-reverted", subject=fault.name)
+
+    def revert(self, fault: Fault) -> None:
+        """Manually revert a (possibly permanent) active fault."""
+        self._revert(fault)
+
+    def revert_all(self) -> None:
+        for fault in list(self._active):
+            self._revert(fault)
+
+    # -- deferred injection -------------------------------------------------- #
+    def inject_at(self, time: float, fault: Fault) -> None:
+        """Schedule injection at absolute simulated time."""
+        self.sim.schedule_at(
+            time, lambda _s: self.inject(fault), label=f"inject:{fault.name}"
+        )
+
+    @property
+    def active_faults(self) -> List[Fault]:
+        return list(self._active)

@@ -1,0 +1,217 @@
+"""Fault models: one class per disruption type named in the paper.
+
+Every fault has an ``apply`` (onset) and, when it has bounded duration, a
+``revert`` (cessation).  Faults act through the :class:`~repro.faults.injector.FaultInjector`,
+which hands them the system handles (fleet, topology, partitions) they need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+
+@dataclass
+class Fault:
+    """Base fault: a named adverse change with optional duration.
+
+    ``duration`` of None means permanent (until some external recovery,
+    e.g. an adaptation action, reverts the effect).
+    """
+
+    name: str
+    duration: Optional[float] = None
+
+    def apply(self, injector: "FaultInjector") -> None:  # noqa: F821
+        raise NotImplementedError
+
+    def revert(self, injector: "FaultInjector") -> None:  # noqa: F821
+        """Cessation of the fault; default is nothing to undo."""
+
+    @property
+    def transient(self) -> bool:
+        return self.duration is not None
+
+
+@dataclass
+class CrashFault(Fault):
+    """Fail-stop crash of a device (internal fault, §I)."""
+
+    device_id: str = ""
+
+    def apply(self, injector) -> None:
+        injector.fleet.crash(self.device_id, reason="crash")
+
+    def revert(self, injector) -> None:
+        injector.fleet.recover(self.device_id)
+
+
+@dataclass
+class CrashRecoveryFault(CrashFault):
+    """A crash that heals by itself after ``duration`` (crash-recovery model)."""
+
+    def __post_init__(self) -> None:
+        if self.duration is None:
+            raise ValueError("CrashRecoveryFault requires a duration")
+
+
+@dataclass
+class ServiceFailureFault(Fault):
+    """A hosted service fails while its device stays up.
+
+    This is the paper's "internal faults may lead to service
+    unavailability": the failure is software-level, so self-healing can
+    restart or migrate the service without touching the device.
+    """
+
+    device_id: str = ""
+    service_name: str = ""
+
+    def apply(self, injector) -> None:
+        device = injector.fleet.get(self.device_id)
+        if device.stack.has_service(self.service_name):
+            device.stack.mark_failed(self.service_name)
+            injector.trace_emit(
+                "fault", "service-failure", subject=self.device_id,
+                service=self.service_name,
+            )
+
+    def revert(self, injector) -> None:
+        device = injector.fleet.get(self.device_id)
+        if device.stack.has_service(self.service_name):
+            device.stack.start(self.service_name)
+            injector.trace_emit(
+                "recovery", "service-restored", subject=self.device_id,
+                service=self.service_name,
+            )
+
+
+@dataclass
+class PartitionFault(Fault):
+    """Network partition between two node groups (or a node isolation)."""
+
+    group_a: Set[str] = field(default_factory=set)
+    group_b: Set[str] = field(default_factory=set)
+    isolate_node: Optional[str] = None
+    _partition_name: Optional[str] = None
+
+    def apply(self, injector) -> None:
+        if injector.partitions is None:
+            raise RuntimeError("injector has no PartitionManager")
+        if self.isolate_node is not None:
+            self._partition_name = injector.partitions.isolate_node(
+                self.isolate_node, name=f"fault:{self.name}"
+            )
+        else:
+            self._partition_name = injector.partitions.cut_between(
+                set(self.group_a), set(self.group_b), name=f"fault:{self.name}"
+            )
+
+    def revert(self, injector) -> None:
+        if self._partition_name is not None and injector.partitions.is_active(
+            self._partition_name
+        ):
+            injector.partitions.heal(self._partition_name)
+            self._partition_name = None
+
+
+@dataclass
+class LinkFailureFault(Fault):
+    """A single link goes down."""
+
+    node_a: str = ""
+    node_b: str = ""
+
+    def apply(self, injector) -> None:
+        link = injector.topology.link_between(self.node_a, self.node_b)
+        if link is None:
+            raise ValueError(f"no link {self.node_a!r}-{self.node_b!r}")
+        link.set_up(False)
+        injector.trace_emit("fault", "link-down", subject=link.key())
+
+    def revert(self, injector) -> None:
+        link = injector.topology.link_between(self.node_a, self.node_b)
+        if link is not None:
+            link.set_up(True)
+            injector.trace_emit("recovery", "link-up", subject=link.key())
+
+
+@dataclass
+class LatencySpikeFault(Fault):
+    """Multiplicative latency degradation on a link (congestion, weak RF)."""
+
+    node_a: str = ""
+    node_b: str = ""
+    factor: float = 10.0
+
+    def apply(self, injector) -> None:
+        link = injector.topology.link_between(self.node_a, self.node_b)
+        if link is None:
+            raise ValueError(f"no link {self.node_a!r}-{self.node_b!r}")
+        link.set_degradation(self.factor)
+        injector.trace_emit(
+            "fault", "latency-spike", subject=link.key(), factor=self.factor
+        )
+
+    def revert(self, injector) -> None:
+        link = injector.topology.link_between(self.node_a, self.node_b)
+        if link is not None:
+            link.set_degradation(1.0)
+            injector.trace_emit("recovery", "latency-normal", subject=link.key())
+
+
+@dataclass
+class BatteryDepletionFault(Fault):
+    """Force a battery-powered device's energy to zero."""
+
+    device_id: str = ""
+
+    def apply(self, injector) -> None:
+        device = injector.fleet.get(self.device_id)
+        if device.battery.mains_powered:
+            raise ValueError(f"device {self.device_id!r} is mains powered")
+        device.battery.drain(device.battery.level or 0.0)
+        injector.fleet.crash(self.device_id, reason="battery-depleted")
+
+    def revert(self, injector) -> None:
+        device = injector.fleet.get(self.device_id)
+        device.battery.recharge()
+        injector.fleet.recover(self.device_id)
+
+
+@dataclass
+class DomainTransferFault(Fault):
+    """Transfer a device to a different administrative domain (§I)."""
+
+    device_id: str = ""
+    new_domain: str = ""
+    _old_domain: Optional[str] = None
+
+    def apply(self, injector) -> None:
+        self._old_domain = injector.fleet.transfer_domain(self.device_id, self.new_domain)
+
+    def revert(self, injector) -> None:
+        if self._old_domain is not None:
+            injector.fleet.transfer_domain(self.device_id, self._old_domain)
+            self._old_domain = None
+
+
+@dataclass
+class AdversarialEnvironmentFault(Fault):
+    """The device's current circumstances become untrusted (§I).
+
+    Governance policies (:mod:`repro.governance`) refuse to release
+    sensitive data to devices in untrusted circumstances.
+    """
+
+    device_id: str = ""
+
+    def apply(self, injector) -> None:
+        device = injector.fleet.get(self.device_id)
+        device.environment_trusted = False
+        injector.trace_emit("fault", "environment-untrusted", subject=self.device_id)
+
+    def revert(self, injector) -> None:
+        device = injector.fleet.get(self.device_id)
+        device.environment_trusted = True
+        injector.trace_emit("recovery", "environment-trusted", subject=self.device_id)

@@ -1,0 +1,38 @@
+"""Data governance across administrative domains and trust levels.
+
+Implements the ML4 goal of Table 2's data vector: "Unconstrained data
+flows. Governance among administrative domains & trust levels", and
+Fig. 4's privacy scopes: jurisdictions (GDPR/CCPA-style), per-domain trust,
+per-component in/out flow policies, and a policy engine that the sync and
+pub/sub layers consult before any datum crosses a boundary.
+"""
+
+from repro.governance.domains import (
+    AdministrativeDomain,
+    DomainRegistry,
+    Jurisdiction,
+    TrustLevel,
+)
+from repro.governance.policy import (
+    FlowDecision,
+    FlowPolicy,
+    PolicyEngine,
+    PrivacyScope,
+)
+from repro.governance.transfer import DomainTransferProtocol
+from repro.governance.audit import ComplianceAuditor, FlowRecord, SubjectReport
+
+__all__ = [
+    "AdministrativeDomain",
+    "ComplianceAuditor",
+    "FlowRecord",
+    "SubjectReport",
+    "DomainRegistry",
+    "DomainTransferProtocol",
+    "FlowDecision",
+    "FlowPolicy",
+    "Jurisdiction",
+    "PolicyEngine",
+    "PrivacyScope",
+    "TrustLevel",
+]

@@ -1,0 +1,163 @@
+"""Compliance auditing over lineage and policy decisions.
+
+§VI.B: following data lineage is the path to "mechanisms for resilient
+data governance".  The :class:`ComplianceAuditor` turns the raw records --
+the lineage tracker's movement/denial events and the policy engine's
+decision ledger -- into the artifacts an accountability regime (GDPR
+Art. 30-style) actually asks for:
+
+* a **data map**: which (source domain -> destination domain) flows
+  carried what sensitivity, how often;
+* a **subject access report**: everything that happened to one data
+  subject's data, including where derived/anonymized forms went;
+* a **retro-audit**: re-evaluate historical movements against the
+  *current* policy, surfacing flows that would be violations today
+  (the audit an ungoverned ML2 system fails, cf. EXPERIMENTS.md T1/T2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.data.item import DataSensitivity
+from repro.data.lineage import LineageTracker
+from repro.governance.policy import FlowDecision, PolicyEngine
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One audited historical movement."""
+
+    time: float
+    item_id: int
+    key: str
+    sensitivity: DataSensitivity
+    subject: Optional[str]
+    src_domain: str
+    dst_domain: str
+    dst_device: str
+
+
+@dataclass
+class SubjectReport:
+    """Everything the system did with one subject's data."""
+
+    subject: str
+    items_produced: int = 0
+    raw_domains_reached: List[str] = field(default_factory=list)
+    derived_domains_reached: List[str] = field(default_factory=list)
+    denials: int = 0
+
+    @property
+    def exposure_beyond_origin(self) -> bool:
+        return bool(self.raw_domains_reached or self.derived_domains_reached)
+
+
+class ComplianceAuditor:
+    """Builds compliance artifacts from lineage (+ optionally the engine)."""
+
+    def __init__(self, lineage: LineageTracker,
+                 policy_engine: Optional[PolicyEngine] = None) -> None:
+        self.lineage = lineage
+        self.policy_engine = policy_engine
+
+    # -- raw flow extraction ----------------------------------------------- #
+    def flows(self) -> List[FlowRecord]:
+        out: List[FlowRecord] = []
+        for event in self.lineage.events:
+            if event.action != "moved":
+                continue
+            item = self.lineage.item(event.item_id)
+            if item is None:
+                continue
+            out.append(FlowRecord(
+                time=event.time, item_id=item.item_id, key=item.key,
+                sensitivity=item.sensitivity, subject=item.subject,
+                src_domain=item.domain, dst_domain=event.domain,
+                dst_device=event.location,
+            ))
+        return out
+
+    # -- the data map ---------------------------------------------------------#
+    def data_map(self) -> Dict[Tuple[str, str], Dict[str, int]]:
+        """(src_domain, dst_domain) -> {sensitivity name: count}."""
+        out: Dict[Tuple[str, str], Dict[str, int]] = {}
+        for flow in self.flows():
+            cell = out.setdefault((flow.src_domain, flow.dst_domain), {})
+            cell[flow.sensitivity.name] = cell.get(flow.sensitivity.name, 0) + 1
+        return out
+
+    def cross_domain_flow_count(self) -> int:
+        return sum(
+            sum(cell.values())
+            for (src, dst), cell in self.data_map().items()
+            if src != dst
+        )
+
+    # -- subject access ---------------------------------------------------------#
+    def subject_report(self, subject: str) -> SubjectReport:
+        report = SubjectReport(subject=subject)
+        subject_items = {
+            item_id
+            for item_id in self._all_item_ids()
+            if (item := self.lineage.item(item_id)) is not None
+            and item.subject == subject
+        }
+        report.items_produced = len(subject_items)
+        raw_domains, derived_domains = set(), set()
+        for flow in self.flows():
+            item = self.lineage.item(flow.item_id)
+            if item is None:
+                continue
+            if item.item_id in subject_items:
+                raw_domains.add(flow.dst_domain)
+            elif subject_items & self.lineage.ancestors(item.item_id):
+                derived_domains.add(flow.dst_domain)
+        report.raw_domains_reached = sorted(raw_domains)
+        report.derived_domains_reached = sorted(derived_domains)
+        report.denials = sum(
+            1 for event in self.lineage.events
+            if event.action == "denied" and event.item_id in subject_items
+        )
+        return report
+
+    def _all_item_ids(self) -> List[int]:
+        return sorted({event.item_id for event in self.lineage.events})
+
+    # -- retro-audit -------------------------------------------------------------#
+    def retro_audit(self) -> List[Tuple[FlowRecord, FlowDecision]]:
+        """Re-evaluate every historical movement against the current
+        policy engine; returns the flows that would be denied today.
+
+        Uses the engine's ``<domain:X>`` pseudo-device so the audit works
+        even for devices that no longer exist.
+        """
+        if self.policy_engine is None:
+            raise ValueError("retro_audit requires a policy engine")
+        violations: List[Tuple[FlowRecord, FlowDecision]] = []
+        for flow in self.flows():
+            item = self.lineage.item(flow.item_id)
+            if item is None:
+                continue
+            decision = self.policy_engine.evaluate(
+                item, f"<domain:{flow.src_domain}>",
+                f"<domain:{flow.dst_domain}>", now=flow.time,
+            )
+            if not decision.allowed:
+                violations.append((flow, decision))
+        return violations
+
+    # -- summary ------------------------------------------------------------------#
+    def summary(self) -> Dict[str, object]:
+        flows = self.flows()
+        sensitive = [f for f in flows
+                     if f.sensitivity >= DataSensitivity.PERSONAL]
+        return {
+            "total_flows": len(flows),
+            "cross_domain_flows": self.cross_domain_flow_count(),
+            "sensitive_flows": len(sensitive),
+            "sensitive_cross_domain": sum(
+                1 for f in sensitive if f.src_domain != f.dst_domain),
+            "denials": self.lineage.denial_count(),
+        }

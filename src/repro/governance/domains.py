@@ -1,0 +1,126 @@
+"""Administrative domains, jurisdictions and trust.
+
+The paper: components "may belong in different administrative domains or
+legal jurisdictions" (§I) and data "traverses through computational
+resources of diverse administrative domains and different levels of trust"
+(§VI.A).  A :class:`Jurisdiction` models a legal framework (e.g. GDPR vs
+CCPA); an :class:`AdministrativeDomain` belongs to exactly one jurisdiction
+and carries a trust level; the :class:`DomainRegistry` records pairwise
+trust agreements between domains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+
+class TrustLevel(enum.IntEnum):
+    """Ordered trust ladder between domains; higher is more trusted."""
+
+    UNTRUSTED = 0
+    PUBLIC = 1
+    PARTNER = 2
+    TRUSTED = 3
+    OWNED = 4
+
+
+@dataclass(frozen=True)
+class Jurisdiction:
+    """A legal framework governing data within its member domains.
+
+    ``data_residency`` set: personal data may only move to jurisdictions in
+    this set (itself always included) -- an abstraction of GDPR Chapter V
+    adequacy decisions.
+    """
+
+    name: str
+    data_residency: FrozenSet[str] = frozenset()
+
+    def allows_personal_export_to(self, other: "Jurisdiction") -> bool:
+        if other.name == self.name:
+            return True
+        return other.name in self.data_residency
+
+
+@dataclass(frozen=True)
+class AdministrativeDomain:
+    """An administrative/ownership boundary in the IoT landscape."""
+
+    name: str
+    jurisdiction: Jurisdiction
+    base_trust: TrustLevel = TrustLevel.PUBLIC
+
+
+class DomainRegistry:
+    """All domains in a system, plus pairwise trust agreements.
+
+    Trust is directional: ``trust(a, b)`` is how much ``a`` trusts ``b``.
+    Without an explicit agreement, trust falls back to the minimum of a
+    domain's own base trust and the counterpart's (conservative default).
+    """
+
+    def __init__(self) -> None:
+        self._domains: Dict[str, AdministrativeDomain] = {}
+        self._agreements: Dict[Tuple[str, str], TrustLevel] = {}
+
+    # -- registration -------------------------------------------------------- #
+    def add(self, domain: AdministrativeDomain) -> AdministrativeDomain:
+        if domain.name in self._domains:
+            raise ValueError(f"domain {domain.name!r} already registered")
+        self._domains[domain.name] = domain
+        return domain
+
+    def get(self, name: str) -> AdministrativeDomain:
+        domain = self._domains.get(name)
+        if domain is None:
+            raise KeyError(f"unknown domain {name!r}")
+        return domain
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._domains
+
+    @property
+    def names(self) -> list:
+        return sorted(self._domains)
+
+    # -- trust ------------------------------------------------------------ #
+    def set_trust(self, truster: str, trustee: str, level: TrustLevel) -> None:
+        """Record a directional trust agreement."""
+        self.get(truster)
+        self.get(trustee)
+        self._agreements[(truster, trustee)] = level
+
+    def set_mutual_trust(self, a: str, b: str, level: TrustLevel) -> None:
+        self.set_trust(a, b, level)
+        self.set_trust(b, a, level)
+
+    def trust(self, truster: str, trustee: str) -> TrustLevel:
+        """Effective trust of ``truster`` toward ``trustee``."""
+        if truster == trustee:
+            return TrustLevel.OWNED
+        explicit = self._agreements.get((truster, trustee))
+        if explicit is not None:
+            return explicit
+        a = self.get(truster)
+        b = self.get(trustee)
+        return min(a.base_trust, b.base_trust)
+
+    # -- jurisdiction queries ------------------------------------------------- #
+    def same_jurisdiction(self, a: str, b: str) -> bool:
+        return self.get(a).jurisdiction.name == self.get(b).jurisdiction.name
+
+    def personal_export_allowed(self, src_domain: str, dst_domain: str) -> bool:
+        """May personal data legally move from src's to dst's jurisdiction?"""
+        src = self.get(src_domain).jurisdiction
+        dst = self.get(dst_domain).jurisdiction
+        return src.allows_personal_export_to(dst)
+
+
+#: Convenience jurisdictions used across examples and experiments.  EU and
+#: EEA recognize each other; US-CA stands alone (CCPA has no adequacy
+#: mechanism toward the EU in this simplified model).
+GDPR = Jurisdiction("EU-GDPR", data_residency=frozenset({"EEA"}))
+EEA = Jurisdiction("EEA", data_residency=frozenset({"EU-GDPR"}))
+CCPA = Jurisdiction("US-CCPA", data_residency=frozenset())

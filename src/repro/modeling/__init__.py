@@ -1,0 +1,83 @@
+"""Analyzable models and verification (paper §IV, Fig. 2).
+
+"IoT systems need formally analyzable and verifiable models to enable
+reasoning, starting from the early stages of design to models@runtime."
+This package provides both halves:
+
+Design time
+    * :mod:`repro.modeling.lts` -- labelled transition systems (Kripke
+      structures with action-labelled transitions);
+    * :mod:`repro.modeling.properties` -- a temporal property language
+      (invariants, reachability, leads-to, and finite-trace LTL);
+    * :mod:`repro.modeling.checker` -- an explicit-state model checker
+      that returns counterexample paths;
+    * :mod:`repro.modeling.dtmc` -- discrete-time Markov chains with
+      probabilistic reachability / expected steps via linear solves
+      (the "stochastic processes or uncertainty quantification" of §IV.B).
+
+Runtime ("models@runtime", §VII)
+    * :mod:`repro.modeling.runtime_monitor` -- LTL3-style monitors that
+      evaluate the same property objects over live traces, reporting
+      satisfied / violated / undetermined verdicts;
+    * :mod:`repro.modeling.goals` -- KAOS-style goal models with
+      obstacles, linking requirements to the components that realize them.
+"""
+
+from repro.modeling.lts import LabelledTransitionSystem, State
+from repro.modeling.properties import (
+    AtomicProposition,
+    Always,
+    And,
+    Eventually,
+    Implies,
+    LeadsTo,
+    Next,
+    Not,
+    Or,
+    Property,
+    Until,
+)
+from repro.modeling.checker import CheckResult, ModelChecker
+from repro.modeling.dtmc import Dtmc
+from repro.modeling.goals import Goal, GoalModel, GoalStatus, Obstacle
+from repro.modeling.runtime_monitor import MonitorVerdict, RuntimeMonitor, TraceStateAdapter
+from repro.modeling.mdp import Mdp, Transition
+from repro.modeling.mining import (
+    estimate_availability,
+    mine_action_success_rates,
+    mine_availability_dtmc,
+)
+from repro.modeling.space import SpatialModel, SpatialProposition
+
+__all__ = [
+    "Always",
+    "And",
+    "AtomicProposition",
+    "CheckResult",
+    "Dtmc",
+    "Eventually",
+    "Goal",
+    "GoalModel",
+    "GoalStatus",
+    "Implies",
+    "LabelledTransitionSystem",
+    "Mdp",
+    "LeadsTo",
+    "ModelChecker",
+    "MonitorVerdict",
+    "Next",
+    "Not",
+    "Obstacle",
+    "Or",
+    "Property",
+    "RuntimeMonitor",
+    "SpatialModel",
+    "SpatialProposition",
+    "State",
+    "Transition",
+    "TraceStateAdapter",
+    "Until",
+    "estimate_availability",
+    "mine_action_success_rates",
+    "mine_availability_dtmc",
+]

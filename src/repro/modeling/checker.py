@@ -1,0 +1,225 @@
+"""Explicit-state model checking.
+
+Implements Fig. 2's verification step: "the verification process checks
+whether a given system (a facet of an IoT system model) satisfies a given
+correctness specification (resilience properties)".
+
+Supported formula shapes (on finite LTSs):
+
+* pure state formulas -- checked in the initial state;
+* ``Always f`` (invariant) -- BFS over reachable states, shortest
+  counterexample path on violation;
+* ``Eventually f`` (reachability) -- BFS, witness path on satisfaction;
+  violation yields no finite counterexample (the whole reachable graph is
+  the evidence), so the result carries the explored state count instead;
+* ``Always(Eventually f)`` and ``LeadsTo(p, q)`` -- response properties,
+  checked by searching for a reachable cycle (or deadlock) avoiding ``q``
+  that is reachable from a ``p``-state (for LeadsTo) or from anywhere (for
+  ``Always(Eventually ...)``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.modeling.lts import LabelledTransitionSystem
+from repro.modeling.properties import Always, Eventually, LeadsTo, Property
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a model-checking run."""
+
+    holds: bool
+    property_repr: str
+    states_explored: int
+    counterexample: Optional[List[Hashable]] = None
+    witness: Optional[List[Hashable]] = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+class ModelChecker:
+    """Checks property objects against a :class:`LabelledTransitionSystem`."""
+
+    def __init__(self, lts: LabelledTransitionSystem) -> None:
+        self.lts = lts
+
+    def check(self, formula: Property) -> CheckResult:
+        if isinstance(formula, Always):
+            inner = formula.operand
+            if isinstance(inner, Eventually):
+                return self._check_response(None, inner.operand, repr(formula))
+            if inner.is_state_formula:
+                return self._check_invariant(inner, repr(formula))
+            raise ValueError(f"unsupported operand under Always: {inner!r}")
+        if isinstance(formula, Eventually):
+            if not formula.operand.is_state_formula:
+                raise ValueError(f"unsupported operand under Eventually: {formula.operand!r}")
+            return self._check_reachability(formula.operand, repr(formula))
+        if isinstance(formula, LeadsTo):
+            return self._check_response(formula.trigger, formula.response, repr(formula))
+        if formula.is_state_formula:
+            holds = formula.holds_in(self.lts.initial.labels)
+            return CheckResult(holds, repr(formula), 1,
+                               detail="state formula evaluated in initial state")
+        raise ValueError(f"unsupported formula shape: {formula!r}")
+
+    # ------------------------------------------------------------------ #
+    # Invariants: G f
+    # ------------------------------------------------------------------ #
+    def _check_invariant(self, state_formula: Property, label: str) -> CheckResult:
+        initial = self.lts.initial.state_id
+        parents: Dict[Hashable, Optional[Hashable]] = {initial: None}
+        queue = deque([initial])
+        explored = 0
+        while queue:
+            current = queue.popleft()
+            explored += 1
+            if not state_formula.holds_in(self.lts.state(current).labels):
+                return CheckResult(
+                    False, label, explored,
+                    counterexample=self._path_to(parents, current),
+                    detail="invariant violated",
+                )
+            for _, successor in self.lts.successors(current):
+                if successor.state_id not in parents:
+                    parents[successor.state_id] = current
+                    queue.append(successor.state_id)
+        return CheckResult(True, label, explored, detail="invariant holds in all reachable states")
+
+    # ------------------------------------------------------------------ #
+    # Reachability: F f
+    # ------------------------------------------------------------------ #
+    def _check_reachability(self, state_formula: Property, label: str) -> CheckResult:
+        initial = self.lts.initial.state_id
+        parents: Dict[Hashable, Optional[Hashable]] = {initial: None}
+        queue = deque([initial])
+        explored = 0
+        while queue:
+            current = queue.popleft()
+            explored += 1
+            if state_formula.holds_in(self.lts.state(current).labels):
+                return CheckResult(
+                    True, label, explored,
+                    witness=self._path_to(parents, current),
+                    detail="witness path found",
+                )
+            for _, successor in self.lts.successors(current):
+                if successor.state_id not in parents:
+                    parents[successor.state_id] = current
+                    queue.append(successor.state_id)
+        return CheckResult(False, label, explored,
+                           detail="no reachable state satisfies the formula")
+
+    # ------------------------------------------------------------------ #
+    # Response: G(p -> F q)  and  G F q  (trigger None)
+    # ------------------------------------------------------------------ #
+    def _check_response(
+        self, trigger: Optional[Property], response: Property, label: str
+    ) -> CheckResult:
+        """Search for a lasso (or dead end) avoiding ``response``.
+
+        The property fails iff from some reachable state satisfying
+        ``trigger`` (or any state, if trigger is None) there exists an
+        infinite path -- equivalently a reachable cycle, or a deadlock
+        treated as a self-loop of stutters -- along which ``response``
+        never holds.
+        """
+        reachable = self.lts.reachable_states()
+        explored = len(reachable)
+        trigger_states = {
+            s for s in reachable
+            if trigger is None or trigger.holds_in(self.lts.state(s).labels)
+        }
+        if not trigger_states:
+            return CheckResult(True, label, explored,
+                               detail="no reachable trigger state")
+        # Restrict to states where response does NOT hold; a cycle or
+        # deadlock inside this sub-graph reachable from a trigger state is
+        # a counterexample.
+        avoid = {
+            s for s in reachable
+            if not response.holds_in(self.lts.state(s).labels)
+        }
+        # Which avoid-states are reachable from a trigger state through
+        # avoid-states only?  (A trigger state where response already holds
+        # discharges that occurrence immediately.)
+        start = {s for s in trigger_states if s in avoid}
+        seen: Set[Hashable] = set(start)
+        stack = list(start)
+        while stack:
+            current = stack.pop()
+            for _, successor in self.lts.successors(current):
+                sid = successor.state_id
+                if sid in avoid and sid not in seen:
+                    seen.add(sid)
+                    stack.append(sid)
+        # Deadlock inside the avoid set = infinite stutter without response.
+        for state_id in seen:
+            if not self.lts.successors(state_id):
+                return CheckResult(
+                    False, label, explored,
+                    counterexample=[state_id],
+                    detail="deadlock state reachable without response",
+                )
+        # Cycle detection within the avoid-subgraph restricted to `seen`.
+        cycle = self._find_cycle(seen)
+        if cycle is not None:
+            return CheckResult(
+                False, label, explored, counterexample=cycle,
+                detail="response-free cycle reachable from trigger",
+            )
+        return CheckResult(True, label, explored,
+                           detail="every trigger occurrence is followed by response")
+
+    def _find_cycle(self, nodes: Set[Hashable]) -> Optional[List[Hashable]]:
+        """Find any cycle within the induced subgraph on ``nodes``."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[Hashable, int] = {n: WHITE for n in nodes}
+        parent: Dict[Hashable, Optional[Hashable]] = {}
+        for root in sorted(nodes, key=repr):
+            if color[root] != WHITE:
+                continue
+            stack: List[Tuple[Hashable, int]] = [(root, 0)]
+            parent[root] = None
+            while stack:
+                node, edge_index = stack[-1]
+                if color[node] == WHITE:
+                    color[node] = GRAY
+                successors = [
+                    s.state_id for _, s in self.lts.successors(node)
+                    if s.state_id in nodes
+                ]
+                if edge_index < len(successors):
+                    stack[-1] = (node, edge_index + 1)
+                    successor = successors[edge_index]
+                    if color.get(successor) == GRAY:
+                        # Found a back edge: reconstruct the cycle.
+                        cycle = [successor, node]
+                        walker = parent.get(node)
+                        while walker is not None and walker != successor:
+                            cycle.append(walker)
+                            walker = parent.get(walker)
+                        cycle.reverse()
+                        return cycle
+                    if color.get(successor) == WHITE:
+                        parent[successor] = node
+                        stack.append((successor, 0))
+                else:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _path_to(parents: Dict[Hashable, Optional[Hashable]], target: Hashable) -> List[Hashable]:
+        path = [target]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])
+        path.reverse()
+        return path

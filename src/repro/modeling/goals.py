@@ -1,0 +1,204 @@
+"""KAOS-style goal models.
+
+§IV.B: "requirements methods (e.g. goal modeling and validation) can be
+applied in novel ways" -- system-wide requirements state desired
+collective behaviour while devices "may have possibly conflicting goals".
+A :class:`GoalModel` is an AND/OR refinement tree of :class:`Goal` nodes,
+with :class:`Obstacle` nodes capturing what disruption can break; leaf
+goals are assigned to components and their satisfaction is fed from
+runtime monitors, propagating up the tree.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class GoalStatus(enum.Enum):
+    SATISFIED = "satisfied"
+    DENIED = "denied"
+    UNKNOWN = "unknown"
+
+
+class Refinement(enum.Enum):
+    AND = "and"   # all children must be satisfied
+    OR = "or"     # at least one child must be satisfied
+
+
+@dataclass
+class Goal:
+    """One node in the goal tree."""
+
+    name: str
+    description: str = ""
+    refinement: Refinement = Refinement.AND
+    children: List[str] = field(default_factory=list)
+    assigned_to: Optional[str] = None   # component realizing a leaf goal
+    priority: int = 1
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+@dataclass
+class Obstacle:
+    """A condition that, when active, denies the goals it obstructs."""
+
+    name: str
+    obstructs: List[str]
+    description: str = ""
+    active: bool = False
+
+
+class GoalModel:
+    """An AND/OR goal graph with obstacle propagation."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._goals: Dict[str, Goal] = {}
+        self._obstacles: Dict[str, Obstacle] = {}
+        self._leaf_status: Dict[str, GoalStatus] = {}
+
+    # -- construction --------------------------------------------------------- #
+    def add_goal(self, goal: Goal) -> Goal:
+        if goal.name in self._goals:
+            raise ValueError(f"goal {goal.name!r} already exists")
+        self._goals[goal.name] = goal
+        if goal.is_leaf:
+            self._leaf_status[goal.name] = GoalStatus.UNKNOWN
+        return goal
+
+    def refine(self, parent: str, children: List[str],
+               refinement: Refinement = Refinement.AND) -> None:
+        """Attach children to an existing goal (children must exist)."""
+        goal = self._require(parent)
+        for child in children:
+            self._require(child)
+        was_leaf = goal.is_leaf
+        goal.children = list(children)
+        goal.refinement = refinement
+        if was_leaf:
+            self._leaf_status.pop(parent, None)
+
+    def add_obstacle(self, obstacle: Obstacle) -> Obstacle:
+        if obstacle.name in self._obstacles:
+            raise ValueError(f"obstacle {obstacle.name!r} already exists")
+        for target in obstacle.obstructs:
+            self._require(target)
+        self._obstacles[obstacle.name] = obstacle
+        return obstacle
+
+    def _require(self, name: str) -> Goal:
+        goal = self._goals.get(name)
+        if goal is None:
+            raise KeyError(f"unknown goal {name!r}")
+        return goal
+
+    # -- status updates ---------------------------------------------------------#
+    def set_leaf_status(self, name: str, status: GoalStatus) -> None:
+        goal = self._require(name)
+        if not goal.is_leaf:
+            raise ValueError(f"goal {name!r} is not a leaf")
+        self._leaf_status[name] = status
+
+    def set_obstacle_active(self, name: str, active: bool) -> None:
+        if name not in self._obstacles:
+            raise KeyError(f"unknown obstacle {name!r}")
+        self._obstacles[name].active = active
+
+    # -- evaluation -------------------------------------------------------------#
+    def status(self, name: Optional[str] = None) -> GoalStatus:
+        """Propagated status of a goal (default: the root)."""
+        return self._evaluate(name or self.root, set())
+
+    def _evaluate(self, name: str, visiting: Set[str]) -> GoalStatus:
+        if name in visiting:
+            raise ValueError(f"cycle in goal graph through {name!r}")
+        goal = self._require(name)
+        # Active obstacles deny the goal outright.
+        for obstacle in self._obstacles.values():
+            if obstacle.active and name in obstacle.obstructs:
+                return GoalStatus.DENIED
+        if goal.is_leaf:
+            return self._leaf_status.get(name, GoalStatus.UNKNOWN)
+        child_statuses = [
+            self._evaluate(child, visiting | {name}) for child in goal.children
+        ]
+        if goal.refinement == Refinement.AND:
+            if any(s == GoalStatus.DENIED for s in child_statuses):
+                return GoalStatus.DENIED
+            if all(s == GoalStatus.SATISFIED for s in child_statuses):
+                return GoalStatus.SATISFIED
+            return GoalStatus.UNKNOWN
+        # OR refinement.
+        if any(s == GoalStatus.SATISFIED for s in child_statuses):
+            return GoalStatus.SATISFIED
+        if all(s == GoalStatus.DENIED for s in child_statuses):
+            return GoalStatus.DENIED
+        return GoalStatus.UNKNOWN
+
+    # -- analysis --------------------------------------------------------------- #
+    def leaves(self) -> List[Goal]:
+        return [g for g in self._goals.values() if g.is_leaf]
+
+    def goals(self) -> List[Goal]:
+        return [self._goals[k] for k in sorted(self._goals)]
+
+    def obstacles(self) -> List[Obstacle]:
+        return [self._obstacles[k] for k in sorted(self._obstacles)]
+
+    def assignments(self) -> Dict[str, List[str]]:
+        """component -> leaf goals assigned to it."""
+        out: Dict[str, List[str]] = {}
+        for goal in self.leaves():
+            if goal.assigned_to is not None:
+                out.setdefault(goal.assigned_to, []).append(goal.name)
+        return out
+
+    def critical_obstacles(self) -> List[Obstacle]:
+        """Obstacles that, alone, would deny the root goal.
+
+        Computed by hypothetically activating each obstacle (with all leaf
+        goals satisfied) -- the goal-level single-point-of-failure
+        analysis the decentralization argument (§V) rests on.
+        """
+        saved_status = dict(self._leaf_status)
+        saved_active = {name: o.active for name, o in self._obstacles.items()}
+        try:
+            for leaf in self._leaf_status:
+                self._leaf_status[leaf] = GoalStatus.SATISFIED
+            for obstacle in self._obstacles.values():
+                obstacle.active = False
+            critical = []
+            for name, obstacle in sorted(self._obstacles.items()):
+                obstacle.active = True
+                if self.status() == GoalStatus.DENIED:
+                    critical.append(obstacle)
+                obstacle.active = False
+            return critical
+        finally:
+            self._leaf_status = saved_status
+            for name, active in saved_active.items():
+                self._obstacles[name].active = active
+
+    def conflicting_assignments(self) -> List[Tuple[str, str, str]]:
+        """(component, goal_a, goal_b) where one component carries leaf
+        goals under different OR-branches of the same parent -- a simple
+        conflict heuristic for the 'possibly conflicting goals' concern."""
+        conflicts = []
+        for goal in self.goals():
+            if goal.refinement != Refinement.OR or len(goal.children) < 2:
+                continue
+            owners: Dict[str, str] = {}
+            for child in goal.children:
+                child_goal = self._goals[child]
+                if child_goal.is_leaf and child_goal.assigned_to:
+                    owner = child_goal.assigned_to
+                    if owner in owners:
+                        conflicts.append((owner, owners[owner], child))
+                    else:
+                        owners[owner] = child
+        return conflicts

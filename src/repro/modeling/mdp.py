@@ -1,0 +1,118 @@
+"""Markov decision processes and value iteration.
+
+§V.B: control "aims to achieve requirements satisfaction -- autonomously
+-- in a changing environment", leveraging "model-based planning".  The
+MDP is the standard formalism for that: states, actions with stochastic
+outcomes, rewards; value iteration yields the policy maximizing expected
+discounted reward.  :mod:`repro.adaptation.mdp_planner` builds small
+repair MDPs on top of this solver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One stochastic outcome of taking an action."""
+
+    probability: float
+    next_state: Hashable
+    reward: float = 0.0
+
+
+class Mdp:
+    """A finite MDP; terminal states have no actions."""
+
+    def __init__(self, name: str = "mdp", discount: float = 0.95) -> None:
+        if not 0.0 < discount <= 1.0:
+            raise ValueError("discount must be in (0, 1]")
+        self.name = name
+        self.discount = discount
+        self._states: List[Hashable] = []
+        self._actions: Dict[Hashable, Dict[str, List[Transition]]] = {}
+
+    # -- construction --------------------------------------------------------- #
+    def add_state(self, state: Hashable) -> None:
+        if state in self._actions:
+            raise ValueError(f"state {state!r} already exists")
+        self._states.append(state)
+        self._actions[state] = {}
+
+    def add_action(self, state: Hashable, action: str,
+                   transitions: List[Transition]) -> None:
+        if state not in self._actions:
+            raise KeyError(f"unknown state {state!r}")
+        if action in self._actions[state]:
+            raise ValueError(f"action {action!r} already defined in {state!r}")
+        total = sum(t.probability for t in transitions)
+        if not math.isclose(total, 1.0, abs_tol=1e-9):
+            raise ValueError(
+                f"action {action!r} in {state!r}: probabilities sum to {total}"
+            )
+        for transition in transitions:
+            if transition.next_state not in self._actions:
+                raise KeyError(f"unknown next state {transition.next_state!r}")
+        self._actions[state][action] = list(transitions)
+
+    # -- access ----------------------------------------------------------------#
+    @property
+    def states(self) -> List[Hashable]:
+        return list(self._states)
+
+    def actions_of(self, state: Hashable) -> List[str]:
+        return sorted(self._actions[state])
+
+    def is_terminal(self, state: Hashable) -> bool:
+        return not self._actions[state]
+
+    # -- solving ----------------------------------------------------------------#
+    def value_iteration(
+        self, tolerance: float = 1e-9, max_iterations: int = 10_000
+    ) -> Tuple[Dict[Hashable, float], Dict[Hashable, Optional[str]]]:
+        """Returns (state values, greedy policy).
+
+        Terminal states have value 0 and policy None.
+        """
+        values: Dict[Hashable, float] = {s: 0.0 for s in self._states}
+        for _ in range(max_iterations):
+            delta = 0.0
+            for state in self._states:
+                if self.is_terminal(state):
+                    continue
+                best = max(
+                    self._q_value(state, action, values)
+                    for action in self._actions[state]
+                )
+                delta = max(delta, abs(best - values[state]))
+                values[state] = best
+            if delta < tolerance:
+                break
+        policy: Dict[Hashable, Optional[str]] = {}
+        for state in self._states:
+            if self.is_terminal(state):
+                policy[state] = None
+                continue
+            policy[state] = max(
+                self.actions_of(state),
+                key=lambda a: self._q_value(state, a, values),
+            )
+        return values, policy
+
+    def _q_value(self, state: Hashable, action: str,
+                 values: Dict[Hashable, float]) -> float:
+        return sum(
+            t.probability * (t.reward + self.discount * values[t.next_state])
+            for t in self._actions[state][action]
+        )
+
+    def q_values(self, state: Hashable,
+                 values: Dict[Hashable, float]) -> Dict[str, float]:
+        """Per-action expected values given a value function."""
+        return {
+            action: self._q_value(state, action, values)
+            for action in self.actions_of(state)
+        }

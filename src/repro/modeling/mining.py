@@ -1,0 +1,149 @@
+"""Model mining from runtime traces.
+
+§IV.B: runtime assurance is "naturally a port to runtime of design time
+representations, enriched with validation techniques suitable for system
+operation".  This module closes that loop in the other direction: it
+*extracts* quantitative models from observed behaviour --
+
+* :func:`mine_availability_dtmc` -- estimate a per-device up/down DTMC
+  from the trace's fault/recovery events (failure and repair rates from
+  sojourn times), ready for the quantitative queries of
+  :mod:`repro.modeling.dtmc`;
+* :func:`mine_action_success_rates` -- estimate adaptation-action success
+  probabilities from executor outcomes, feeding the
+  :class:`~repro.adaptation.mdp_planner.RepairModel`'s parameters.
+
+Together: observe, mine, verify, re-plan -- models@runtime with the
+model itself kept honest by the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.modeling.dtmc import Dtmc
+from repro.simulation.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class AvailabilityEstimate:
+    """Per-device availability statistics mined from a trace."""
+
+    subject: str
+    up_time: float
+    down_time: float
+    failures: int
+    repairs: int
+    mean_time_to_failure: Optional[float]
+    mean_time_to_repair: Optional[float]
+
+    @property
+    def availability(self) -> float:
+        total = self.up_time + self.down_time
+        return self.up_time / total if total > 0 else 1.0
+
+
+def estimate_availability(
+    trace: TraceLog,
+    subject: str,
+    horizon: float,
+    fault_names: Tuple[str, ...] = ("crash", "battery-depleted"),
+    recovery_names: Tuple[str, ...] = ("device-recover",),
+) -> AvailabilityEstimate:
+    """Walk the subject's fault/recovery events into up/down sojourns."""
+    events = [
+        e for e in trace.events
+        if e.subject == subject and (
+            (e.category == "fault" and e.name in fault_names)
+            or (e.category == "recovery" and e.name in recovery_names)
+        )
+    ]
+    up_time = down_time = 0.0
+    failures = repairs = 0
+    up_sojourns: List[float] = []
+    down_sojourns: List[float] = []
+    state_up = True
+    last_change = 0.0
+    for event in events:
+        if event.category == "fault" and state_up:
+            up_time += event.time - last_change
+            up_sojourns.append(event.time - last_change)
+            failures += 1
+            state_up = False
+            last_change = event.time
+        elif event.category == "recovery" and not state_up:
+            down_time += event.time - last_change
+            down_sojourns.append(event.time - last_change)
+            repairs += 1
+            state_up = True
+            last_change = event.time
+    if state_up:
+        up_time += horizon - last_change
+    else:
+        down_time += horizon - last_change
+    return AvailabilityEstimate(
+        subject=subject,
+        up_time=up_time,
+        down_time=down_time,
+        failures=failures,
+        repairs=repairs,
+        mean_time_to_failure=(sum(up_sojourns) / len(up_sojourns)
+                              if up_sojourns else None),
+        mean_time_to_repair=(sum(down_sojourns) / len(down_sojourns)
+                             if down_sojourns else None),
+    )
+
+
+def mine_availability_dtmc(
+    trace: TraceLog,
+    subject: str,
+    horizon: float,
+    step: float = 1.0,
+    **kwargs,
+) -> Tuple[Dtmc, AvailabilityEstimate]:
+    """Build an up/down DTMC with per-``step`` transition probabilities
+    estimated from the subject's mean sojourn times.
+
+    Returns the chain plus the raw estimate.  Devices that never failed
+    get a degenerate always-up chain.
+    """
+    estimate = estimate_availability(trace, subject, horizon, **kwargs)
+    chain = Dtmc(f"mined:{subject}")
+    chain.add_state("up", initial=True)
+    chain.add_state("down")
+    mttf = estimate.mean_time_to_failure
+    mttr = estimate.mean_time_to_repair
+    failure_probability = min(1.0, step / mttf) if mttf and mttf > 0 else 0.0
+    repair_probability = min(1.0, step / mttr) if mttr and mttr > 0 else 1.0
+    chain.set_transition("up", "down", failure_probability)
+    chain.set_transition("up", "up", 1.0 - failure_probability)
+    chain.set_transition("down", "up", repair_probability)
+    chain.set_transition("down", "down", 1.0 - repair_probability)
+    return chain, estimate
+
+
+def mine_action_success_rates(trace: TraceLog) -> Dict[str, Tuple[int, int, float]]:
+    """Per action verb: (successes, failures, rate) from executor events.
+
+    Action descriptions start with their verb ("restart ...",
+    "migrate ...", "reboot ..."); the executor traces ``action-success`` /
+    ``action-failure`` per attempt.
+    """
+    counters: Dict[str, List[int]] = {}
+    for event in trace.events:
+        if event.category != "adaptation":
+            continue
+        description = str(event.attrs.get("action", ""))
+        verb = description.split(" ", 1)[0] if description else "unknown"
+        bucket = counters.setdefault(verb, [0, 0])
+        if event.name == "action-success":
+            bucket[0] += 1
+        elif event.name == "action-failure":
+            bucket[1] += 1
+    out: Dict[str, Tuple[int, int, float]] = {}
+    for verb, (successes, failures) in sorted(counters.items()):
+        total = successes + failures
+        out[verb] = (successes, failures,
+                     successes / total if total else 0.0)
+    return out

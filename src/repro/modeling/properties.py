@@ -1,0 +1,178 @@
+"""Temporal property language.
+
+A small, composable property algebra over atomic propositions, with two
+evaluation targets:
+
+* the explicit-state :class:`~repro.modeling.checker.ModelChecker`
+  supports the CTL-ish fragment that covers the paper's resilience
+  properties: invariants (``Always p``), reachability (``Eventually p``),
+  and response (``LeadsTo(p, q)``, "every disruption is eventually
+  followed by recovery");
+* the :class:`~repro.modeling.runtime_monitor.RuntimeMonitor` evaluates
+  the same formulas over finite traces with three-valued (LTL3-style)
+  verdicts.
+
+Formulas are built from :class:`AtomicProposition` and the combinators
+below; ``prop("up") >> prop("serving")`` reads as implication.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+
+class Property:
+    """Base class: a state/trace formula."""
+
+    def holds_in(self, labels: FrozenSet[str]) -> bool:
+        """State-formula evaluation (propositional fragment only)."""
+        raise NotImplementedError(f"{type(self).__name__} is not a state formula")
+
+    @property
+    def is_state_formula(self) -> bool:
+        return False
+
+    # Combinator sugar.
+    def __and__(self, other: "Property") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Property") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __rshift__(self, other: "Property") -> "Implies":
+        return Implies(self, other)
+
+
+class AtomicProposition(Property):
+    """A named proposition, true in states labelled with it."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def holds_in(self, labels: FrozenSet[str]) -> bool:
+        return self.name in labels
+
+    @property
+    def is_state_formula(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def prop(name: str) -> AtomicProposition:
+    """Shorthand constructor: ``prop("up")``."""
+    return AtomicProposition(name)
+
+
+class Not(Property):
+    def __init__(self, operand: Property) -> None:
+        self.operand = operand
+
+    def holds_in(self, labels: FrozenSet[str]) -> bool:
+        return not self.operand.holds_in(labels)
+
+    @property
+    def is_state_formula(self) -> bool:
+        return self.operand.is_state_formula
+
+    def __repr__(self) -> str:
+        return f"!({self.operand!r})"
+
+
+class _Binary(Property):
+    symbol = "?"
+
+    def __init__(self, left: Property, right: Property) -> None:
+        self.left = left
+        self.right = right
+
+    @property
+    def is_state_formula(self) -> bool:
+        return self.left.is_state_formula and self.right.is_state_formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class And(_Binary):
+    symbol = "&"
+
+    def holds_in(self, labels: FrozenSet[str]) -> bool:
+        return self.left.holds_in(labels) and self.right.holds_in(labels)
+
+
+class Or(_Binary):
+    symbol = "|"
+
+    def holds_in(self, labels: FrozenSet[str]) -> bool:
+        return self.left.holds_in(labels) or self.right.holds_in(labels)
+
+
+class Implies(_Binary):
+    symbol = "->"
+
+    def holds_in(self, labels: FrozenSet[str]) -> bool:
+        return (not self.left.holds_in(labels)) or self.right.holds_in(labels)
+
+
+class Always(Property):
+    """G f: f holds in every reachable state / at every trace position."""
+
+    def __init__(self, operand: Property) -> None:
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"G({self.operand!r})"
+
+
+class Eventually(Property):
+    """F f: some reachable state / trace position satisfies f."""
+
+    def __init__(self, operand: Property) -> None:
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"F({self.operand!r})"
+
+
+class Next(Property):
+    """X f (runtime monitoring only)."""
+
+    def __init__(self, operand: Property) -> None:
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"X({self.operand!r})"
+
+
+class Until(Property):
+    """f U g (runtime monitoring only): f holds until g does, and g occurs."""
+
+    def __init__(self, left: Property, right: Property) -> None:
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} U {self.right!r})"
+
+
+class LeadsTo(Property):
+    """G (p -> F q): every p-state is eventually followed by a q-state.
+
+    The paper's resilience pattern in one operator: "persistence of
+    requirements satisfaction when facing change" means every disruption
+    (p) leads to recovery (q).
+    """
+
+    def __init__(self, trigger: Property, response: Property) -> None:
+        if not trigger.is_state_formula or not response.is_state_formula:
+            raise ValueError("LeadsTo requires state-formula operands")
+        self.trigger = trigger
+        self.response = response
+
+    def __repr__(self) -> str:
+        return f"({self.trigger!r} ~> {self.response!r})"

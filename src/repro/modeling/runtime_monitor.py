@@ -1,0 +1,231 @@
+"""Runtime monitoring: models@runtime verdicts over live traces.
+
+§VII: "continuous monitoring of IoT systems for checking the conformance
+of their behavior with respect to requirements".  The monitor consumes a
+stream of *observation states* (each a set of atomic propositions) and
+maintains a three-valued verdict per property, LTL3-style:
+
+* ``SATISFIED`` -- every extension of the observed prefix satisfies the
+  property (e.g. ``Eventually p`` once p has occurred);
+* ``VIOLATED`` -- no extension can satisfy it (e.g. ``Always p`` after a
+  !p observation);
+* ``UNDETERMINED`` -- the prefix decides nothing yet.
+
+Monitors are written against the same :mod:`repro.modeling.properties`
+objects the design-time checker uses -- the "port to runtime of design
+time representations" §IV.B describes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.modeling.properties import (
+    Always,
+    Eventually,
+    LeadsTo,
+    Next,
+    Property,
+    Until,
+)
+from repro.simulation.trace import TraceEvent, TraceLog
+
+
+class MonitorVerdict(enum.Enum):
+    SATISFIED = "satisfied"
+    VIOLATED = "violated"
+    UNDETERMINED = "undetermined"
+
+
+class _PropertyState:
+    """Incremental evaluation state for one property."""
+
+    def __init__(self, formula: Property) -> None:
+        self.formula = formula
+        self.verdict = MonitorVerdict.UNDETERMINED
+        # LeadsTo bookkeeping: number of un-responded trigger occurrences
+        # and the time of the oldest one (for latency reporting).
+        self.pending_triggers = 0
+        self.oldest_pending: Optional[float] = None
+        self.response_latencies: List[float] = []
+        # Next bookkeeping.
+        self.position = 0
+        # Until bookkeeping.
+        self.until_alive = True
+
+    def observe(self, labels: FrozenSet[str], time: float) -> MonitorVerdict:
+        formula = self.formula
+        if self.verdict in (MonitorVerdict.SATISFIED, MonitorVerdict.VIOLATED) \
+                and not isinstance(formula, LeadsTo):
+            self.position += 1
+            return self.verdict
+
+        if isinstance(formula, Always):
+            if not formula.operand.is_state_formula:
+                raise ValueError("runtime Always supports state-formula operands")
+            if not formula.operand.holds_in(labels):
+                self.verdict = MonitorVerdict.VIOLATED
+        elif isinstance(formula, Eventually):
+            if not formula.operand.is_state_formula:
+                raise ValueError("runtime Eventually supports state-formula operands")
+            if formula.operand.holds_in(labels):
+                self.verdict = MonitorVerdict.SATISFIED
+        elif isinstance(formula, Next):
+            if self.position == 1:
+                if not formula.operand.is_state_formula:
+                    raise ValueError("runtime Next supports state-formula operands")
+                self.verdict = (
+                    MonitorVerdict.SATISFIED
+                    if formula.operand.holds_in(labels)
+                    else MonitorVerdict.VIOLATED
+                )
+        elif isinstance(formula, Until):
+            if not (formula.left.is_state_formula and formula.right.is_state_formula):
+                raise ValueError("runtime Until supports state-formula operands")
+            if self.until_alive:
+                if formula.right.holds_in(labels):
+                    self.verdict = MonitorVerdict.SATISFIED
+                elif not formula.left.holds_in(labels):
+                    self.verdict = MonitorVerdict.VIOLATED
+                    self.until_alive = False
+        elif isinstance(formula, LeadsTo):
+            # Response first: one response discharges ALL pending triggers.
+            if formula.response.holds_in(labels):
+                if self.pending_triggers > 0 and self.oldest_pending is not None:
+                    self.response_latencies.append(time - self.oldest_pending)
+                self.pending_triggers = 0
+                self.oldest_pending = None
+            if formula.trigger.holds_in(labels) and not formula.response.holds_in(labels):
+                self.pending_triggers += 1
+                if self.oldest_pending is None:
+                    self.oldest_pending = time
+            # LeadsTo on finite traces: never SATISFIED definitively;
+            # "currently violated" iff triggers are pending.
+            self.verdict = MonitorVerdict.UNDETERMINED
+        elif formula.is_state_formula:
+            self.verdict = (
+                MonitorVerdict.SATISFIED
+                if formula.holds_in(labels)
+                else MonitorVerdict.VIOLATED
+            )
+        else:
+            raise ValueError(f"unsupported runtime formula: {formula!r}")
+        self.position += 1
+        return self.verdict
+
+    def final_verdict(self) -> MonitorVerdict:
+        """Verdict at end-of-trace (finite-trace semantics)."""
+        formula = self.formula
+        if isinstance(formula, LeadsTo):
+            return (
+                MonitorVerdict.VIOLATED
+                if self.pending_triggers > 0
+                else MonitorVerdict.SATISFIED
+            )
+        if self.verdict != MonitorVerdict.UNDETERMINED:
+            return self.verdict
+        if isinstance(formula, Always):
+            return MonitorVerdict.SATISFIED     # never violated on the prefix
+        if isinstance(formula, (Eventually, Until)):
+            return MonitorVerdict.VIOLATED      # awaited event never came
+        return self.verdict
+
+
+class RuntimeMonitor:
+    """Evaluates a set of named properties over an observation stream."""
+
+    def __init__(self) -> None:
+        self._properties: Dict[str, _PropertyState] = {}
+        self._observations = 0
+        self.violation_times: Dict[str, List[float]] = {}
+
+    def watch(self, name: str, formula: Property) -> None:
+        if name in self._properties:
+            raise ValueError(f"property {name!r} already watched")
+        self._properties[name] = _PropertyState(formula)
+        self.violation_times[name] = []
+
+    def observe(self, labels: Iterable[str], time: float) -> Dict[str, MonitorVerdict]:
+        """Feed one observation state; returns current verdicts."""
+        frozen = frozenset(labels)
+        self._observations += 1
+        verdicts = {}
+        for name, state in self._properties.items():
+            before = state.verdict
+            verdict = state.observe(frozen, time)
+            if verdict == MonitorVerdict.VIOLATED and before != MonitorVerdict.VIOLATED:
+                self.violation_times[name].append(time)
+            verdicts[name] = verdict
+        return verdicts
+
+    def verdict(self, name: str) -> MonitorVerdict:
+        return self._properties[name].verdict
+
+    def final_verdicts(self) -> Dict[str, MonitorVerdict]:
+        return {name: s.final_verdict() for name, s in self._properties.items()}
+
+    def response_latencies(self, name: str) -> List[float]:
+        """For LeadsTo properties: observed trigger->response delays."""
+        return list(self._properties[name].response_latencies)
+
+    def pending_triggers(self, name: str) -> int:
+        return self._properties[name].pending_triggers
+
+    @property
+    def observation_count(self) -> int:
+        return self._observations
+
+
+class TraceStateAdapter:
+    """Derives observation states from a :class:`TraceLog` event stream.
+
+    Maintains a set of propositions toggled by trace events: each rule
+    maps an event pattern to propositions to add/remove.  Subscribing the
+    adapter to a live trace turns the raw event log into the monitored
+    state stream -- the glue between the simulator and models@runtime.
+    """
+
+    def __init__(self, monitor: RuntimeMonitor) -> None:
+        self.monitor = monitor
+        self._current: Set[str] = set()
+        self._rules: List[Tuple[Optional[str], Optional[str], Set[str], Set[str]]] = []
+
+    def rule(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        add: Iterable[str] = (),
+        remove: Iterable[str] = (),
+    ) -> "TraceStateAdapter":
+        """On events matching (category, name): add/remove propositions."""
+        self._rules.append((category, name, set(add), set(remove)))
+        return self
+
+    def set_initial(self, labels: Iterable[str]) -> "TraceStateAdapter":
+        self._current = set(labels)
+        return self
+
+    @property
+    def current_labels(self) -> Set[str]:
+        return set(self._current)
+
+    def attach(self, trace: TraceLog) -> Callable[[], None]:
+        """Subscribe to a live trace; returns the unsubscribe function."""
+        return trace.subscribe(self._on_event)
+
+    def _on_event(self, event: TraceEvent) -> None:
+        changed = False
+        for category, name, add, remove in self._rules:
+            if event.matches(category=category, name=name):
+                before = set(self._current)
+                self._current |= add
+                self._current -= remove
+                changed = changed or before != self._current
+        if changed:
+            self.monitor.observe(self._current, event.time)
+
+    def replay(self, trace: TraceLog) -> None:
+        """Feed a completed trace through the rules (offline analysis)."""
+        for event in trace:
+            self._on_event(event)

@@ -1,0 +1,25 @@
+"""Simulated network substrate.
+
+Models the communication fabric of Figure 1's landscape: device-to-gateway
+wireless links, gateway/edge LAN links, and edge/cloud WAN links, each with
+its own latency, jitter, bandwidth and loss characteristics.  Partitions --
+the paper's "connectivity to cloud control structures may not be
+persistent" -- are first-class (:class:`~repro.network.partition.PartitionManager`).
+"""
+
+from repro.network.link import LatencyModel, Link, LinkProfile, LINK_PROFILES
+from repro.network.topology import Topology
+from repro.network.transport import Message, Network, NetworkStats
+from repro.network.partition import PartitionManager
+
+__all__ = [
+    "LatencyModel",
+    "Link",
+    "LinkProfile",
+    "LINK_PROFILES",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "PartitionManager",
+    "Topology",
+]

@@ -1,0 +1,200 @@
+"""Network topologies.
+
+A :class:`Topology` is a networkx graph of node ids plus a :class:`Link`
+per edge.  Builders construct the archetypal IoT layouts of Figure 1: a
+cloud region, edge sites with their local device clusters, and the links
+between the tiers.  Routing is shortest-path by expected latency, restricted
+to links that are currently up.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.network.link import LINK_PROFILES, Link, LinkProfile
+
+
+class Topology:
+    """A mutable graph of nodes and latency-annotated links."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.graph = nx.Graph()
+        self._rng = rng if rng is not None else random.Random(0)
+        self._links: Dict[str, Link] = {}
+
+    # -- construction ----------------------------------------------------- #
+    def add_node(self, node: str, **attrs: object) -> None:
+        self.graph.add_node(node, **attrs)
+
+    def add_link(self, a: str, b: str, profile: str = "lan") -> Link:
+        """Add a bidirectional link with a named profile (see LINK_PROFILES)."""
+        if profile not in LINK_PROFILES:
+            raise ValueError(f"unknown link profile {profile!r}")
+        return self.add_link_with_profile(a, b, LINK_PROFILES[profile])
+
+    def add_link_with_profile(self, a: str, b: str, profile: LinkProfile) -> Link:
+        for node in (a, b):
+            if node not in self.graph:
+                self.graph.add_node(node)
+        link = Link(a, b, profile, self._rng)
+        self.graph.add_edge(a, b, link=link, weight=profile.base_latency)
+        self._links[link.key()] = link
+        return link
+
+    def remove_node(self, node: str) -> None:
+        if node in self.graph:
+            for neighbor in list(self.graph.neighbors(node)):
+                key = self.graph.edges[node, neighbor]["link"].key()
+                self._links.pop(key, None)
+            self.graph.remove_node(node)
+
+    # -- access --------------------------------------------------------- #
+    @property
+    def nodes(self) -> List[str]:
+        return list(self.graph.nodes)
+
+    @property
+    def links(self) -> List[Link]:
+        return list(self._links.values())
+
+    def has_node(self, node: str) -> bool:
+        return node in self.graph
+
+    def link_between(self, a: str, b: str) -> Optional[Link]:
+        if self.graph.has_edge(a, b):
+            return self.graph.edges[a, b]["link"]
+        return None
+
+    def neighbors(self, node: str) -> List[str]:
+        if node not in self.graph:
+            return []
+        return list(self.graph.neighbors(node))
+
+    def node_attr(self, node: str, key: str, default: object = None) -> object:
+        return self.graph.nodes[node].get(key, default)
+
+    # -- routing ---------------------------------------------------------- #
+    def _up_subgraph(self) -> nx.Graph:
+        up_edges = [
+            (u, v) for u, v, data in self.graph.edges(data=True) if data["link"].up
+        ]
+        sub = nx.Graph()
+        sub.add_nodes_from(self.graph.nodes)
+        for u, v in up_edges:
+            sub.add_edge(u, v, weight=self.graph.edges[u, v]["weight"])
+        return sub
+
+    def route(self, src: str, dst: str) -> Optional[List[str]]:
+        """Lowest expected-latency path over up links, or None if unreachable."""
+        if src == dst:
+            return [src]
+        if src not in self.graph or dst not in self.graph:
+            return None
+        sub = self._up_subgraph()
+        try:
+            return nx.shortest_path(sub, src, dst, weight="weight")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+
+    def reachable(self, src: str, dst: str) -> bool:
+        return self.route(src, dst) is not None
+
+    def path_links(self, path: Sequence[str]) -> List[Link]:
+        out = []
+        for u, v in zip(path, path[1:]):
+            link = self.link_between(u, v)
+            if link is None:
+                raise ValueError(f"no link {u!r}-{v!r} on path")
+            out.append(link)
+        return out
+
+    def expected_latency(self, src: str, dst: str) -> Optional[float]:
+        """Sum of base latencies along the current best route."""
+        path = self.route(src, dst)
+        if path is None:
+            return None
+        return sum(link.profile.base_latency for link in self.path_links(path))
+
+    def components(self) -> List[set]:
+        """Connected components over up links (partition structure)."""
+        return [set(c) for c in nx.connected_components(self._up_subgraph())]
+
+
+# ------------------------------------------------------------------------- #
+# Builders for the archetypal layouts of Figure 1
+# ------------------------------------------------------------------------- #
+def build_edge_cloud_topology(
+    n_sites: int,
+    devices_per_site: int,
+    rng: Optional[random.Random] = None,
+    cloud_node: str = "cloud",
+    device_profile: str = "wireless",
+    site_uplink_profile: str = "wan",
+    inter_site_profile: str = "metro",
+    mesh_sites: bool = True,
+) -> Tuple[Topology, Dict[str, List[str]]]:
+    """The canonical paper landscape: cloud, edge sites, local devices.
+
+    Returns the topology and a mapping ``edge_node -> [device ids]``.
+    Device ids are ``d{site}.{index}``; edge nodes are ``edge{site}``.
+    When ``mesh_sites`` is set, neighbouring edge sites get metro links so
+    that decentralized coordination between edges (Fig. 3) has a path that
+    does not traverse the cloud.
+    """
+    if n_sites < 1:
+        raise ValueError("need at least one edge site")
+    topo = Topology(rng=rng)
+    topo.add_node(cloud_node, tier="cloud")
+    site_devices: Dict[str, List[str]] = {}
+    edge_nodes = []
+    for s in range(n_sites):
+        edge = f"edge{s}"
+        edge_nodes.append(edge)
+        topo.add_node(edge, tier="edge", site=s)
+        topo.add_link(edge, cloud_node, profile=site_uplink_profile)
+        members = []
+        for d in range(devices_per_site):
+            device = f"d{s}.{d}"
+            topo.add_node(device, tier="device", site=s)
+            topo.add_link(device, edge, profile=device_profile)
+            members.append(device)
+        site_devices[edge] = members
+    if mesh_sites and n_sites > 1:
+        for i in range(n_sites):
+            j = (i + 1) % n_sites
+            if i != j and topo.link_between(edge_nodes[i], edge_nodes[j]) is None:
+                topo.add_link(edge_nodes[i], edge_nodes[j], profile=inter_site_profile)
+    return topo, site_devices
+
+
+def build_star_topology(
+    center: str,
+    leaves: Iterable[str],
+    profile: str = "lan",
+    rng: Optional[random.Random] = None,
+) -> Topology:
+    """A star: every leaf linked to ``center`` (the ML1/ML2 archetype)."""
+    topo = Topology(rng=rng)
+    topo.add_node(center, tier="hub")
+    for leaf in leaves:
+        topo.add_node(leaf, tier="leaf")
+        topo.add_link(leaf, center, profile=profile)
+    return topo
+
+
+def build_mesh_topology(
+    nodes: Sequence[str],
+    profile: str = "lan",
+    rng: Optional[random.Random] = None,
+) -> Topology:
+    """A full mesh among ``nodes`` (small coordination clusters)."""
+    topo = Topology(rng=rng)
+    for node in nodes:
+        topo.add_node(node)
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            topo.add_link(a, b, profile=profile)
+    return topo

@@ -1,0 +1,202 @@
+"""Message transport over a topology.
+
+The :class:`Network` delivers :class:`Message` objects between named
+endpoints by routing over the topology's currently-up links, summing
+per-hop sampled latencies, and applying per-hop loss.  Handlers are
+registered per destination; delivery is a scheduled kernel event, so all
+communication is asynchronous and interleaves deterministically with the
+rest of the simulation.
+
+This is deliberately a *datagram* service (unreliable, unordered beyond
+what latency sampling induces): reliability is the job of the coordination
+and data layers above -- the paper's point is precisely that resilience
+mechanisms must be built into the components, not assumed from the fabric.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.network.topology import Topology
+from repro.simulation.kernel import Simulator
+from repro.simulation.trace import TraceLog
+
+
+@dataclass
+class Message:
+    """A datagram between two endpoints.
+
+    ``kind`` is the protocol-level message type (e.g. ``"gossip"``,
+    ``"raft.append_entries"``); ``payload`` is protocol-defined.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any = None
+    size_bytes: int = 256
+    msg_id: int = field(default=-1)
+    sent_at: float = field(default=0.0)
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transport counters, exposed for experiments."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_unreachable: int = 0
+    total_latency: float = 0.0
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.sent if self.sent else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.delivered if self.delivered else 0.0
+
+
+MessageHandler = Callable[[Message], None]
+
+
+class Network:
+    """Routing datagram transport bound to a simulator and topology."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.trace = trace
+        self.stats = NetworkStats()
+        self._handlers: Dict[str, Dict[str, MessageHandler]] = {}
+        self._msg_ids = itertools.count()
+        # Nodes marked down drop all traffic addressed to or relayed
+        # through them; device crash faults use this switch.
+        self._down_nodes: set = set()
+
+    # -- endpoint management ---------------------------------------------- #
+    def register(self, node: str, kind: str, handler: MessageHandler) -> None:
+        """Register ``handler`` for messages of ``kind`` arriving at ``node``."""
+        self._handlers.setdefault(node, {})[kind] = handler
+
+    def register_default(self, node: str, handler: MessageHandler) -> None:
+        """Fallback handler for kinds without a specific registration."""
+        self._handlers.setdefault(node, {})["*"] = handler
+
+    def unregister_node(self, node: str) -> None:
+        self._handlers.pop(node, None)
+
+    def set_node_up(self, node: str, up: bool) -> None:
+        if up:
+            self._down_nodes.discard(node)
+        else:
+            self._down_nodes.add(node)
+
+    def node_up(self, node: str) -> bool:
+        return node not in self._down_nodes
+
+    # -- sending ---------------------------------------------------------- #
+    def send(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: Any = None,
+        size_bytes: int = 256,
+    ) -> Message:
+        """Send a datagram; returns the message (delivery not guaranteed)."""
+        message = Message(
+            src=src,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            msg_id=next(self._msg_ids),
+            sent_at=self.sim.now,
+        )
+        self.stats.sent += 1
+        self._dispatch(message)
+        return message
+
+    def _dispatch(self, message: Message) -> None:
+        if message.src in self._down_nodes or message.dst in self._down_nodes:
+            self._drop(message, "unreachable")
+            return
+        path = self.topology.route(message.src, message.dst)
+        if path is None:
+            self._drop(message, "unreachable")
+            return
+        intermediate = path[1:-1]
+        if any(node in self._down_nodes for node in intermediate):
+            # Down relays are invisible to shortest-path; model them as a
+            # black hole, which is what a crashed gateway is.
+            self._drop(message, "unreachable")
+            return
+        total_latency = 0.0
+        for link in self.topology.path_links(path):
+            if link.model.sample_loss():
+                self._drop(message, "loss")
+                return
+            total_latency += link.model.sample_latency(message.size_bytes)
+        self.sim.schedule(
+            total_latency,
+            lambda _s, m=message, lat=total_latency: self._deliver(m, lat),
+            label=f"deliver:{message.kind}",
+        )
+
+    def _deliver(self, message: Message, latency: float) -> None:
+        # Re-check destination liveness at arrival time: the node may have
+        # crashed while the message was in flight.
+        if message.dst in self._down_nodes:
+            self._drop(message, "unreachable")
+            return
+        handlers = self._handlers.get(message.dst)
+        handler = None
+        if handlers:
+            handler = handlers.get(message.kind) or handlers.get("*")
+        if handler is None:
+            self._drop(message, "unreachable")
+            return
+        self.stats.delivered += 1
+        self.stats.total_latency += latency
+        handler(message)
+
+    def _drop(self, message: Message, reason: str) -> None:
+        if reason == "loss":
+            self.stats.dropped_loss += 1
+        else:
+            self.stats.dropped_unreachable += 1
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now,
+                "message",
+                "drop",
+                subject=message.dst,
+                kind=message.kind,
+                reason=reason,
+                src=message.src,
+            )
+
+    # -- convenience -------------------------------------------------------#
+    def broadcast(
+        self,
+        src: str,
+        dsts: List[str],
+        kind: str,
+        payload: Any = None,
+        size_bytes: int = 256,
+    ) -> List[Message]:
+        """Unicast to each destination (no link-layer multicast modeled)."""
+        return [
+            self.send(src, dst, kind, payload=payload, size_bytes=size_bytes)
+            for dst in dsts
+            if dst != src
+        ]

@@ -1,0 +1,29 @@
+"""Deviceless service orchestration (paper §III.B, Table 2 row 2).
+
+ML4's service vector: "Deviceless -- business logic fully managed and
+abstracted from the infrastructure capabilities."  Developers submit
+:class:`~repro.devices.software.Service` specs with constraints; the
+orchestrator decides placement (latency-, resource- and locality-aware),
+deploys, and -- paired with a MAPE loop -- re-places on failure.
+"""
+
+from repro.orchestration.placement import (
+    PlacementConstraints,
+    PlacementDecision,
+    PlacementError,
+    best_fit_placement,
+    first_fit_decreasing,
+    latency_aware_placement,
+)
+from repro.orchestration.scheduler import DevicelessScheduler, Deployment
+
+__all__ = [
+    "Deployment",
+    "DevicelessScheduler",
+    "PlacementConstraints",
+    "PlacementDecision",
+    "PlacementError",
+    "best_fit_placement",
+    "first_fit_decreasing",
+    "latency_aware_placement",
+]

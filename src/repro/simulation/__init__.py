@@ -1,0 +1,43 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package provides the execution foundation that every other subsystem
+in :mod:`repro` builds on.  The paper's experiments require observing IoT
+systems *over time while disruption unfolds*; since no physical testbed is
+available, we substitute a deterministic discrete-event simulator (see
+DESIGN.md, section 1).
+
+The main entry points are:
+
+* :class:`~repro.simulation.kernel.Simulator` -- the event loop and clock.
+* :class:`~repro.simulation.process.Process` -- generator-based processes
+  that ``yield`` timeouts and events.
+* :class:`~repro.simulation.rng.RngRegistry` -- named, independently seeded
+  random streams so that adding randomness to one subsystem never perturbs
+  another.
+* :class:`~repro.simulation.metrics.MetricsRecorder` -- time-series metric
+  capture used by the resilience assessment in :mod:`repro.core`.
+* :class:`~repro.simulation.trace.TraceLog` -- structured event trace that
+  runtime monitors (:mod:`repro.modeling`) consume.
+"""
+
+from repro.simulation.kernel import Event, Simulator, SimulationError
+from repro.simulation.process import Process, Timeout, Waiter, AllOf, AnyOf
+from repro.simulation.rng import RngRegistry
+from repro.simulation.metrics import MetricsRecorder, TimeSeries
+from repro.simulation.trace import TraceEvent, TraceLog
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "MetricsRecorder",
+    "Process",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "TimeSeries",
+    "Timeout",
+    "TraceEvent",
+    "TraceLog",
+    "Waiter",
+]

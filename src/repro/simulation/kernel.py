@@ -1,0 +1,197 @@
+"""The discrete-event simulation kernel.
+
+The kernel is a deterministic event loop over a priority queue keyed by
+``(time, priority, sequence)``.  Two events scheduled for the same instant
+are executed in a stable, reproducible order: first by explicit priority,
+then by insertion sequence.  This determinism is what makes every
+experiment in EXPERIMENTS.md reproducible bit-for-bit from its seed.
+
+Design notes
+------------
+* Time is a ``float`` of simulated seconds starting at ``0.0``.  Nothing in
+  the kernel reads the wall clock.
+* Callbacks receive the :class:`Simulator` so they can schedule follow-up
+  work; generator-based processes (:mod:`repro.simulation.process`) are a
+  convenience layer on top of plain callbacks.
+* Cancellation is lazy: cancelled events stay in the heap but are skipped
+  when popped, which keeps :meth:`Simulator.cancel` O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the kernel (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned from :meth:`Simulator.schedule` and can be used
+    as handles for cancellation.  An event is *pending* until it either
+    fires or is cancelled.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "fired", "label")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[["Simulator"], None],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+        self.label = label
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has neither fired nor been cancelled."""
+        return not (self.cancelled or self.fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {state}, {self.label!r})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulated clock.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda s: fired.append(s.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        # Arbitrary shared context: subsystems register themselves here so
+        # that loosely coupled components (e.g. fault injector and device
+        # fleet) can find each other without import cycles.
+        self.context: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # Clock and scheduling
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[["Simulator"], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative.  Lower ``priority`` values run
+        first among events scheduled for the same instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, priority=priority, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[["Simulator"], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = Event(time, priority, next(self._seq), callback, label=label)
+        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
+        return event
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a pending event.  Returns True if it was still pending."""
+        if event.pending:
+            event.cancelled = True
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._heap:
+            _, _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fired = True
+            event.callback(self)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue drains or ``until`` is reached.
+
+        If ``until`` is given, the clock is advanced to exactly ``until``
+        even when the queue drains earlier, so that metric windows closed
+        at the end of a run cover the whole horizon.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                next_time = self._peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    break
+                if not self.step():
+                    break
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the executing event returns."""
+        self._stopped = True
+
+    def _peek_time(self) -> Optional[float]:
+        while self._heap:
+            time, _, _, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+    @property
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for (_, _, _, e) in self._heap if not e.cancelled)

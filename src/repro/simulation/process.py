@@ -1,0 +1,265 @@
+"""Generator-based processes on top of the event kernel.
+
+A :class:`Process` wraps a Python generator.  The generator ``yield``\\ s
+*wait conditions* and is resumed when they complete:
+
+* :class:`Timeout` -- resume after a simulated delay.
+* :class:`Waiter` -- a one-shot condition another component triggers (a
+  message arrival, a lock release...).  ``Waiter.succeed(value)`` resumes
+  the process with ``value`` as the result of the ``yield``.
+* :class:`AllOf` / :class:`AnyOf` -- composite conditions.
+* another :class:`Process` -- resume when that process terminates; the
+  ``yield`` evaluates to its return value.
+
+This mirrors the structure of simpy, reimplemented from scratch (offline
+constraint: simpy is not installed) with only the features the rest of the
+codebase needs, which keeps the kernel easy to reason about.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.simulation.kernel import SimulationError, Simulator
+
+
+class Condition:
+    """Base class for things a process may ``yield`` on."""
+
+    def _subscribe(self, sim: Simulator, resume: Callable[[Any], None]) -> None:
+        raise NotImplementedError
+
+
+class Timeout(Condition):
+    """Resume the process after ``delay`` simulated seconds."""
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+        self.value = value
+
+    def _subscribe(self, sim: Simulator, resume: Callable[[Any], None]) -> None:
+        sim.schedule(self.delay, lambda _s: resume(self.value), label="timeout")
+
+
+class Waiter(Condition):
+    """A one-shot external condition.
+
+    A producer calls :meth:`succeed` (or :meth:`fail`) exactly once; every
+    process waiting on the instance resumes.  Succeeding twice is an error
+    -- use a fresh ``Waiter`` per occurrence.
+    """
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[[], None]] = []
+        self._sim: Optional[Simulator] = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._done
+
+    def succeed(self, value: Any = None) -> None:
+        if self._done:
+            raise SimulationError("Waiter already triggered")
+        self._done = True
+        self._value = value
+        self._flush()
+
+    def fail(self, error: BaseException) -> None:
+        if self._done:
+            raise SimulationError("Waiter already triggered")
+        self._done = True
+        self._error = error
+        self._flush()
+
+    def _flush(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback()
+
+    def _subscribe(self, sim: Simulator, resume: Callable[[Any], None]) -> None:
+        self._sim = sim
+
+        def deliver() -> None:
+            if self._error is not None:
+                resume(self._error)
+            else:
+                resume(self._value)
+
+        if self._done:
+            # Already triggered: resume on the next kernel step to preserve
+            # run-to-completion semantics of the currently executing event.
+            sim.schedule(0.0, lambda _s: deliver(), label="waiter-immediate")
+        else:
+            self._callbacks.append(deliver)
+
+
+class AllOf(Condition):
+    """Resume once every sub-condition has completed; yields their values."""
+
+    def __init__(self, conditions: List[Condition]) -> None:
+        self.conditions = list(conditions)
+
+    def _subscribe(self, sim: Simulator, resume: Callable[[Any], None]) -> None:
+        if not self.conditions:
+            sim.schedule(0.0, lambda _s: resume([]), label="allof-empty")
+            return
+        remaining = {"count": len(self.conditions)}
+        values: List[Any] = [None] * len(self.conditions)
+
+        def make_child(index: int) -> Callable[[Any], None]:
+            def child_done(value: Any) -> None:
+                values[index] = value
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    resume(values)
+
+            return child_done
+
+        for i, condition in enumerate(self.conditions):
+            condition._subscribe(sim, make_child(i))
+
+
+class AnyOf(Condition):
+    """Resume when the first sub-condition completes; yields (index, value)."""
+
+    def __init__(self, conditions: List[Condition]) -> None:
+        self.conditions = list(conditions)
+
+    def _subscribe(self, sim: Simulator, resume: Callable[[Any], None]) -> None:
+        if not self.conditions:
+            raise SimulationError("AnyOf requires at least one condition")
+        state = {"done": False}
+
+        def make_child(index: int) -> Callable[[Any], None]:
+            def child_done(value: Any) -> None:
+                if not state["done"]:
+                    state["done"] = True
+                    resume((index, value))
+
+            return child_done
+
+        for i, condition in enumerate(self.conditions):
+            condition._subscribe(sim, make_child(i))
+
+
+class Process(Condition):
+    """A running generator-based process.
+
+    Create with ``Process(sim, generator_function(args...))`` or via
+    :func:`spawn`.  The process starts on the next kernel step.  Other
+    processes may ``yield`` a ``Process`` to join it.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._finished = False
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._joiners: List[Callable[[Any], None]] = []
+        self._interrupted: Optional[BaseException] = None
+        self._current_resume_token = 0
+        sim.schedule(0.0, lambda _s: self._advance(None), label=f"start:{self.name}")
+
+    # -- public API ---------------------------------------------------- #
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def result(self) -> Any:
+        if not self._finished:
+            raise SimulationError(f"process {self.name} has not finished")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def interrupt(self, reason: str = "interrupted") -> None:
+        """Throw :class:`Interrupted` into the process at its next resume."""
+        if not self._finished:
+            self._interrupted = Interrupted(reason)
+            # Invalidate whatever the process is currently waiting on.
+            self._current_resume_token += 1
+            self.sim.schedule(0.0, lambda _s: self._deliver_interrupt(), label=f"intr:{self.name}")
+
+    # -- internals ------------------------------------------------------ #
+    def _deliver_interrupt(self) -> None:
+        if self._finished or self._interrupted is None:
+            return
+        error, self._interrupted = self._interrupted, None
+        self._advance_throw(error)
+
+    def _advance(self, value: Any) -> None:
+        if self._finished:
+            return
+        try:
+            if isinstance(value, BaseException):
+                target = self._generator.throw(value)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+            return
+        except Interrupted as err:
+            self._finish(None, err)
+            return
+        self._wait_on(target)
+
+    def _advance_throw(self, error: BaseException) -> None:
+        if self._finished:
+            return
+        try:
+            target = self._generator.throw(error)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+            return
+        except Interrupted as err:
+            self._finish(None, err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        token = self._current_resume_token
+
+        def resume(value: Any) -> None:
+            # A stale resume (e.g. a timeout that raced an interrupt) is
+            # dropped: the token changed when the interrupt invalidated it.
+            if token == self._current_resume_token and not self._finished:
+                self._current_resume_token += 1
+                self._advance(value)
+
+        if isinstance(target, Condition):
+            target._subscribe(self.sim, resume)
+        else:
+            raise SimulationError(
+                f"process {self.name} yielded {target!r}; expected a Condition"
+            )
+
+    def _finish(self, result: Any, error: Optional[BaseException]) -> None:
+        self._finished = True
+        self._result = result
+        self._error = error
+        joiners, self._joiners = self._joiners, []
+        for joiner in joiners:
+            joiner(result)
+
+    def _subscribe(self, sim: Simulator, resume: Callable[[Any], None]) -> None:
+        if self._finished:
+            sim.schedule(0.0, lambda _s: resume(self._result), label="join-immediate")
+        else:
+            self._joiners.append(resume)
+
+
+class Interrupted(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called."""
+
+
+def spawn(sim: Simulator, generator: Generator, name: str = "") -> Process:
+    """Convenience wrapper: start ``generator`` as a process on ``sim``."""
+    return Process(sim, generator, name=name)

@@ -1,0 +1,167 @@
+"""Structured event traces.
+
+A :class:`TraceLog` records what *happened* during a run as a sequence of
+typed events.  Runtime monitors (:mod:`repro.modeling.runtime_monitor`)
+evaluate temporal properties over these traces, and the resilience
+assessment extracts disruption/recovery intervals from them -- the trace is
+the "model kept alive at runtime" of the paper's Section VII, in its
+simplest faithful form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the occurrence.
+    category:
+        Coarse class, e.g. ``"fault"``, ``"recovery"``, ``"message"``,
+        ``"adaptation"``, ``"violation"``.
+    name:
+        Specific event name, e.g. ``"crash"``, ``"partition-heal"``.
+    subject:
+        The entity the event concerns (device id, link id, ...).
+    attrs:
+        Free-form details.
+    """
+
+    time: float
+    category: str
+    name: str
+    subject: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        subject: Optional[str] = None,
+    ) -> bool:
+        if category is not None and self.category != category:
+            return False
+        if name is not None and self.name != name:
+            return False
+        if subject is not None and self.subject != subject:
+            return False
+        return True
+
+
+class TraceLog:
+    """Append-only event log with query helpers and live subscribers."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+
+    def emit(
+        self,
+        time: float,
+        category: str,
+        name: str,
+        subject: str = "",
+        **attrs: Any,
+    ) -> TraceEvent:
+        """Record an event and notify live subscribers."""
+        if self._events and time < self._events[-1].time:
+            raise ValueError(
+                f"trace time went backwards: {time} < {self._events[-1].time}"
+            )
+        event = TraceEvent(time=time, category=category, name=name, subject=subject, attrs=attrs)
+        self._events.append(event)
+        for subscriber in list(self._subscribers):
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> Callable[[], None]:
+        """Register a live subscriber; returns an unsubscribe function."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+
+        return unsubscribe
+
+    # -- queries ---------------------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        subject: Optional[str] = None,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+    ) -> List[TraceEvent]:
+        """Events matching the given filters within ``start <= t < end``."""
+        return [
+            e
+            for e in self._events
+            if start <= e.time < end and e.matches(category, name, subject)
+        ]
+
+    def count(self, category: Optional[str] = None, name: Optional[str] = None) -> int:
+        return len(self.select(category=category, name=name))
+
+    def first(
+        self, category: Optional[str] = None, name: Optional[str] = None
+    ) -> Optional[TraceEvent]:
+        for event in self._events:
+            if event.matches(category, name):
+                return event
+        return None
+
+    def last(
+        self, category: Optional[str] = None, name: Optional[str] = None
+    ) -> Optional[TraceEvent]:
+        for event in reversed(self._events):
+            if event.matches(category, name):
+                return event
+        return None
+
+    def intervals(
+        self,
+        open_name: str,
+        close_name: str,
+        category: Optional[str] = None,
+        subject: Optional[str] = None,
+        horizon: Optional[float] = None,
+    ) -> List[tuple]:
+        """Pair open/close events into ``(start, end)`` intervals.
+
+        Used e.g. to turn ``partition-start`` / ``partition-heal`` events
+        into disruption windows.  An unclosed interval extends to
+        ``horizon`` (or the last event time if horizon is None).
+        """
+        end_default = horizon if horizon is not None else (
+            self._events[-1].time if self._events else 0.0
+        )
+        out = []
+        open_time: Optional[float] = None
+        for event in self._events:
+            if not event.matches(category=category, subject=subject):
+                continue
+            if event.name == open_name and open_time is None:
+                open_time = event.time
+            elif event.name == close_name and open_time is not None:
+                out.append((open_time, event.time))
+                open_time = None
+        if open_time is not None:
+            out.append((open_time, end_default))
+        return out

@@ -1,0 +1,101 @@
+"""Parameter sweeps over experiments.
+
+Benchmark deliverables need parameter sweeps with seed replication; this
+module provides the small harness: a grid of named parameters, N seeds
+per cell, a run function producing a scalar metric, and per-cell
+mean/min/max aggregation.
+
+>>> result = run_sweep(
+...     run=lambda rate, seed: simulate(rate, seed),
+...     grid={"rate": [0.01, 0.05]},
+...     seeds=[1, 2, 3],
+... )
+>>> result.cell(rate=0.01).mean
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+
+@dataclass
+class SweepCell:
+    """Aggregated metric values for one parameter combination."""
+
+    params: Dict[str, Any]
+    values: List[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def spread(self) -> float:
+        return self.maximum - self.minimum
+
+
+@dataclass
+class SweepResult:
+    """All cells of a sweep, addressable by parameter values."""
+
+    grid_keys: Tuple[str, ...]
+    cells: List[SweepCell]
+
+    def cell(self, **params: Any) -> SweepCell:
+        for candidate in self.cells:
+            if all(candidate.params.get(k) == v for k, v in params.items()):
+                return candidate
+        raise KeyError(f"no cell matching {params}")
+
+    def series(self, over: str, **fixed: Any) -> List[Tuple[Any, float]]:
+        """Mean metric as a function of one parameter, others fixed."""
+        out = []
+        for candidate in self.cells:
+            if all(candidate.params.get(k) == v for k, v in fixed.items()):
+                out.append((candidate.params[over], candidate.mean))
+        return sorted(out, key=lambda pair: pair[0])
+
+    def rows(self) -> List[List[Any]]:
+        """Tabular dump: one row per cell (params..., mean, min, max)."""
+        return [
+            [cell.params[k] for k in self.grid_keys]
+            + [cell.mean, cell.minimum, cell.maximum]
+            for cell in self.cells
+        ]
+
+
+def run_sweep(
+    run: Callable[..., float],
+    grid: Dict[str, Sequence[Any]],
+    seeds: Sequence[int],
+    seed_param: str = "seed",
+) -> SweepResult:
+    """Run ``run(**params, seed=s)`` for every grid cell x seed.
+
+    ``run`` must return the scalar metric for that execution.  Cells are
+    produced in deterministic grid order (itertools.product over the
+    given key order).
+    """
+    if not grid:
+        raise ValueError("grid must name at least one parameter")
+    if not seeds:
+        raise ValueError("need at least one seed")
+    keys = tuple(grid.keys())
+    cells = []
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        params = dict(zip(keys, combo))
+        cell = SweepCell(params=dict(params))
+        for seed in seeds:
+            cell.values.append(float(run(**params, **{seed_param: seed})))
+        cells.append(cell)
+    return SweepResult(grid_keys=keys, cells=cells)

@@ -1,0 +1,19 @@
+"""Workload generators for the application domains the paper motivates.
+
+"Providing solutions for smart cities, healthcare, energy, and mobility"
+(abstract).  Each builder returns a wired :class:`~repro.core.system.IoTSystem`
+plus domain objects (services, policies, requirements) that examples and
+benchmarks drive.
+"""
+
+from repro.workloads.smart_city import SmartCityWorkload
+from repro.workloads.healthcare import HealthcareWorkload
+from repro.workloads.energy import EnergyGridWorkload
+from repro.workloads.mobility import MobilityWorkload
+
+__all__ = [
+    "EnergyGridWorkload",
+    "HealthcareWorkload",
+    "MobilityWorkload",
+    "SmartCityWorkload",
+]

@@ -1,0 +1,199 @@
+"""Tests for decentralized MAPE coordination patterns."""
+
+import pytest
+
+from repro.adaptation import (
+    DeviceLivenessAnalyzer,
+    Executor,
+    MapeLoop,
+    RuleBasedPlanner,
+    ServiceHealthAnalyzer,
+)
+from repro.adaptation.patterns import InformationSharing, RegionalPlanning
+from repro.adaptation.planner import Plan, Planner
+from repro.coordination.gossip import GossipNode
+from repro.core.system import IoTSystem
+from repro.devices.software import Service, ServiceState
+from repro.faults.models import PartitionFault
+
+
+class _NullPlanner(Planner):
+    """Local loops under RegionalPlanning do not plan themselves."""
+
+    def plan(self, issues, knowledge, now):
+        return Plan()
+
+
+def make_loop(system, host, scope, planner=None):
+    return MapeLoop(
+        system.sim, system.network, system.fleet, host, scope,
+        analyzers=[ServiceHealthAnalyzer(), DeviceLivenessAnalyzer()],
+        planner=planner or RuleBasedPlanner(),
+        executor=Executor(system.sim, system.network, system.fleet, host,
+                          system.rngs.stream(f"exec:{host}"),
+                          trace=system.trace),
+        period=1.0, trace=system.trace, metrics=system.metrics,
+    )
+
+
+def make_gossip(system, host, peers):
+    return GossipNode(system.sim, system.network, host, peers,
+                      system.rngs.stream(f"gossip:{host}"), period=0.5)
+
+
+class TestInformationSharing:
+    def _system(self):
+        return IoTSystem.with_edge_cloud_landscape(2, 2, seed=15)
+
+    def test_knowledge_spreads_between_loops(self):
+        system = self._system()
+        edges = system.edge_nodes
+        loops = {e: make_loop(system, e, list(system.sites[e])) for e in edges}
+        sharings = {}
+        for edge in edges:
+            loops[edge].start()
+            sharings[edge] = InformationSharing(
+                system.sim, loops[edge], make_gossip(system, edge, edges))
+            sharings[edge].start()
+        system.run(until=10.0)
+        # edge1's loop only scopes site1, but sharing means its *gossip*
+        # carries site0 snapshots published by edge0.
+        assert sharings["edge0"].shared > 0
+        assert sharings["edge1"].gossip.get("obs/d0.0") is not None
+
+    def test_slow_loop_stays_fresh_through_peer(self):
+        """A loop that monitors rarely (e.g. to spare constrained device
+        batteries) keeps fresh knowledge by importing a fast peer's
+        observations -- using 'information from other entities' (SV.A)."""
+        system = self._system()
+        edges = system.edge_nodes
+        shared_scope = list(system.sites["edge0"])
+        slow = make_loop(system, "edge0", shared_scope)
+        slow.period = 20.0                     # observes site0 rarely
+        fast = make_loop(system, "edge1", shared_scope)
+        fast.period = 0.5                      # observes site0 constantly
+        slow.start()
+        fast.start()
+        share_slow = InformationSharing(system.sim, slow,
+                                        make_gossip(system, "edge0", edges),
+                                        share_period=0.5)
+        share_fast = InformationSharing(system.sim, fast,
+                                        make_gossip(system, "edge1", edges),
+                                        share_period=0.5)
+        share_slow.start()
+        share_fast.start()
+        system.run(until=15.0)
+        # The slow loop last observed at t~0/20, yet its knowledge of
+        # d0.0 is at most a couple of sharing periods old.
+        age = slow.knowledge.age_of("d0.0", system.sim.now)
+        assert age is not None and age < 3.0
+        assert share_slow.imported > 0
+
+    def test_orphan_adoption_enables_peer_takeover(self):
+        """edge0 dies entirely; edge1 adopts site0's devices and its
+        executor repairs a service failure there."""
+        system = self._system()
+        edges = system.edge_nodes
+        device = system.sites["edge0"][0]
+        system.fleet.get(device).host(Service("svc"))
+        loop0 = make_loop(system, "edge0", list(system.sites["edge0"]))
+        loop1 = make_loop(system, "edge1", list(system.sites["edge1"]))
+        loop0.start()
+        loop1.start()
+        share0 = InformationSharing(system.sim, loop0,
+                                    make_gossip(system, "edge0", edges))
+        share1 = InformationSharing(
+            system.sim, loop1, make_gossip(system, "edge1", edges),
+            adopt_orphans=True, orphan_staleness=4.0)
+        share0.start()
+        share1.start()
+        system.run(until=5.0)
+        system.fleet.crash("edge0")          # site0's manager dies
+        system.fleet.get(device).stack.mark_failed("svc")
+        system.run(until=30.0)
+        assert device in share1.adopted
+        assert device in loop1.scope
+        # edge1 repaired the service through the inter-edge mesh route.
+        assert system.fleet.get(device).stack.service("svc").state \
+            == ServiceState.RUNNING
+
+    def test_adoption_requires_reachability(self):
+        system = self._system()
+        edges = system.edge_nodes
+        device = system.sites["edge0"][0]
+        loop0 = make_loop(system, "edge0", list(system.sites["edge0"]))
+        loop1 = make_loop(system, "edge1", list(system.sites["edge1"]))
+        loop0.start()
+        loop1.start()
+        share0 = InformationSharing(system.sim, loop0,
+                                    make_gossip(system, "edge0", edges))
+        share1 = InformationSharing(
+            system.sim, loop1, make_gossip(system, "edge1", edges),
+            adopt_orphans=True, orphan_staleness=4.0)
+        share0.start()
+        share1.start()
+        system.run(until=5.0)
+        # Isolate site0 completely: edge1 hears the snapshots are stale
+        # but cannot reach the devices, so it must NOT adopt.
+        group_a = set(system.sites["edge0"]) | {"edge0"}
+        group_b = set(system.sites["edge1"]) | {"edge1", "cloud"}
+        system.partitions.cut_between(group_a, group_b, name="site0-island")
+        system.run(until=30.0)
+        assert device not in share1.adopted
+
+
+class TestRegionalPlanning:
+    def test_regional_planner_repairs_remote_site(self):
+        system = IoTSystem.with_edge_cloud_landscape(2, 2, seed=16)
+        edges = system.edge_nodes
+        device = system.sites["edge0"][0]
+        system.fleet.get(device).host(Service("svc"))
+        # Local loops monitor+analyze but do not plan.
+        loops = {
+            e: make_loop(system, e, list(system.sites[e]), planner=_NullPlanner())
+            for e in edges
+        }
+        gossips = {e: make_gossip(system, e, edges) for e in edges}
+        for loop in loops.values():
+            loop.start()
+        regional = RegionalPlanning(system.sim, loops, gossips,
+                                    planner=RuleBasedPlanner(), period=1.0)
+        regional.start()
+        system.run(until=5.0)
+        system.fleet.get(device).stack.mark_failed("svc")
+        system.run(until=20.0)
+        assert regional.plans_made > 0
+        assert regional.actions_routed > 0
+        assert system.fleet.get(device).stack.service("svc").state \
+            == ServiceState.RUNNING
+
+    def test_region_survives_planner_loss(self):
+        """The elected planner (highest edge) dies; the next takes over."""
+        system = IoTSystem.with_edge_cloud_landscape(3, 1, seed=16)
+        edges = system.edge_nodes               # edge0..edge2
+        device = system.sites["edge0"][0]
+        system.fleet.get(device).host(Service("svc"))
+        loops = {
+            e: make_loop(system, e, list(system.sites[e]), planner=_NullPlanner())
+            for e in edges
+        }
+        gossips = {e: make_gossip(system, e, edges) for e in edges}
+        for loop in loops.values():
+            loop.start()
+        regional = RegionalPlanning(system.sim, loops, gossips,
+                                    planner=RuleBasedPlanner(), period=1.0)
+        regional.start()
+        system.run(until=5.0)
+        system.fleet.crash("edge2")             # the initial leader
+        system.fleet.get(device).stack.mark_failed("svc")
+        system.run(until=25.0)
+        assert system.fleet.get(device).stack.service("svc").state \
+            == ServiceState.RUNNING
+
+    def test_mismatched_hosts_raise(self):
+        system = IoTSystem.with_edge_cloud_landscape(2, 1, seed=16)
+        loops = {"edge0": make_loop(system, "edge0", [])}
+        gossips = {"edge1": make_gossip(system, "edge1", ["edge1"])}
+        with pytest.raises(ValueError):
+            RegionalPlanning(system.sim, loops, gossips,
+                             planner=RuleBasedPlanner())

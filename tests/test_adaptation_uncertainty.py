@@ -1,0 +1,124 @@
+"""Tests for the uncertainty taxonomy and confidence-gated planning."""
+
+import math
+
+import pytest
+
+from repro.adaptation.knowledge import DeviceSnapshot, Issue, KnowledgeBase
+from repro.adaptation.planner import RuleBasedPlanner
+from repro.adaptation.uncertainty import (
+    ConfidenceGatedPlanner,
+    DEFAULT_UNCERTAINTIES,
+    KnowledgeConfidence,
+    Uncertainty,
+    UncertaintyLevel,
+    UncertaintyNature,
+    UncertaintyRegistry,
+    UncertaintySource,
+    default_registry,
+)
+
+
+def snapshot(device_id, t, failed=()):
+    return DeviceSnapshot(device_id=device_id, observed_at=t, up=True,
+                          battery_fraction=1.0, running_services=frozenset(),
+                          failed_services=frozenset(failed))
+
+
+class TestRegistry:
+    def test_default_registry_complete(self):
+        registry = default_registry()
+        assert len(registry) == len(DEFAULT_UNCERTAINTIES)
+        assert "connectivity" in registry.names
+
+    def test_classification_queries(self):
+        registry = default_registry()
+        environment = registry.by_source(UncertaintySource.ENVIRONMENT)
+        assert {u.name for u in environment} == {"sensing-noise", "connectivity"}
+        epistemic = registry.by_nature(UncertaintyNature.EPISTEMIC)
+        assert {u.name for u in epistemic} == {"stale-knowledge",
+                                               "emergent-behaviour"}
+        assert registry.reducible() == epistemic
+
+    def test_duplicate_registration_raises(self):
+        registry = default_registry()
+        with pytest.raises(ValueError):
+            registry.register(DEFAULT_UNCERTAINTIES[0])
+
+    def test_levels_ordered(self):
+        assert UncertaintyLevel.KNOWN_PARAMETERS < UncertaintyLevel.UNKNOWN_OUTCOMES
+
+
+class TestKnowledgeConfidence:
+    def test_fresh_observation_full_confidence(self):
+        kb = KnowledgeBase(["d1"])
+        kb.observe(snapshot("d1", 10.0))
+        confidence = KnowledgeConfidence(half_life=5.0)
+        assert confidence.of(kb, "d1", 10.0) == pytest.approx(1.0)
+
+    def test_half_life_semantics(self):
+        kb = KnowledgeBase(["d1"])
+        kb.observe(snapshot("d1", 0.0))
+        confidence = KnowledgeConfidence(half_life=5.0)
+        assert confidence.of(kb, "d1", 5.0) == pytest.approx(0.5)
+        assert confidence.of(kb, "d1", 10.0) == pytest.approx(0.25)
+
+    def test_unobserved_zero(self):
+        kb = KnowledgeBase(["d1"])
+        assert KnowledgeConfidence().of(kb, "d1", 10.0) == 0.0
+
+    def test_mean_over_scope(self):
+        kb = KnowledgeBase(["d1", "d2"])
+        kb.observe(snapshot("d1", 10.0))
+        confidence = KnowledgeConfidence(half_life=5.0)
+        assert confidence.mean(kb, 10.0) == pytest.approx(0.5)   # (1.0 + 0) / 2
+
+    def test_invalid_half_life_raises(self):
+        with pytest.raises(ValueError):
+            KnowledgeConfidence(half_life=0.0)
+
+
+class TestConfidenceGatedPlanner:
+    def _issue(self):
+        return Issue(kind="service-failed", subject="d1", detected_at=0.0,
+                     service="svc")
+
+    def test_confident_actions_pass(self):
+        kb = KnowledgeBase(["d1"])
+        kb.observe(snapshot("d1", 10.0, failed={"svc"}))
+        planner = ConfidenceGatedPlanner(RuleBasedPlanner(),
+                                         KnowledgeConfidence(half_life=5.0),
+                                         threshold=0.5)
+        plan = planner.plan([self._issue()], kb, now=10.0)
+        assert len(plan.actions) == 1
+        assert planner.gated_actions == 0
+
+    def test_stale_actions_gated(self):
+        kb = KnowledgeBase(["d1"])
+        kb.observe(snapshot("d1", 0.0, failed={"svc"}))
+        planner = ConfidenceGatedPlanner(RuleBasedPlanner(),
+                                         KnowledgeConfidence(half_life=5.0),
+                                         threshold=0.5)
+        plan = planner.plan([self._issue()], kb, now=20.0)   # 4 half-lives old
+        assert plan.actions == []
+        assert planner.gated_actions == 1
+
+    def test_outcome_feedback_delegated(self):
+        inner = RuleBasedPlanner(max_restarts=1)
+        kb = KnowledgeBase(["d1", "d2"])
+        kb.observe(snapshot("d1", 0.0, failed={"svc"}))
+        kb.observe(snapshot("d2", 0.0))
+        planner = ConfidenceGatedPlanner(inner, KnowledgeConfidence(half_life=50.0),
+                                         threshold=0.1)
+        first = planner.plan([self._issue()], kb, now=1.0)
+        planner.record_outcome(first.actions[0], success=False)
+        second = planner.plan([self._issue()], kb, now=2.0)
+        # Escalation happened inside the wrapped planner.
+        from repro.adaptation.actions import MigrateServiceAction
+
+        assert isinstance(second.actions[0], MigrateServiceAction)
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ValueError):
+            ConfidenceGatedPlanner(RuleBasedPlanner(), KnowledgeConfidence(),
+                                   threshold=1.5)

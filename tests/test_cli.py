@@ -1,0 +1,29 @@
+"""Smoke tests for the CLI front-end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_verify_command(self, capsys):
+        assert main(["verify", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "analytic availability" in out
+
+    def test_maturity_quick(self, capsys):
+        assert main(["maturity", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience score" in out
+        assert "ML4" in out
+
+    def test_landscape_quick(self, capsys):
+        assert main(["landscape", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "edge vs cloud" in out
+        assert "during" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["warp-drive"])

@@ -1,0 +1,178 @@
+"""Unit tests for CRDTs (deterministic cases; see
+test_property_crdt.py for the algebraic-law property tests)."""
+
+import pytest
+
+from repro.data.crdt import GCounter, GSet, LWWMap, LWWRegister, ORSet, PNCounter
+
+
+class TestGCounter:
+    def test_increment_and_value(self):
+        counter = GCounter("a")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_negative_increment_raises(self):
+        with pytest.raises(ValueError):
+            GCounter("a").increment(-1)
+
+    def test_merge_takes_max_per_replica(self):
+        a, b = GCounter("a"), GCounter("b")
+        a.increment(3)
+        b.increment(2)
+        b.merge(a)
+        a.merge(b)
+        assert a.value == b.value == 5
+        # Re-merging is idempotent.
+        a.merge(b)
+        assert a.value == 5
+
+    def test_copy_is_independent(self):
+        a = GCounter("a")
+        a.increment(1)
+        clone = a.copy()
+        a.increment(1)
+        assert clone.value == 1 and a.value == 2
+
+
+class TestPNCounter:
+    def test_up_and_down(self):
+        counter = PNCounter("a")
+        counter.increment(10)
+        counter.decrement(3)
+        assert counter.value == 7
+
+    def test_merge_commutes(self):
+        a, b = PNCounter("a"), PNCounter("b")
+        a.increment(5)
+        b.decrement(2)
+        a_copy, b_copy = a.copy(), b.copy()
+        a.merge(b)
+        b_copy.merge(a_copy)
+        assert a.value == b_copy.value == 3
+
+    def test_can_go_negative(self):
+        counter = PNCounter("a")
+        counter.decrement(4)
+        assert counter.value == -4
+
+
+class TestGSet:
+    def test_add_and_union_merge(self):
+        a, b = GSet(), GSet()
+        a.add(1)
+        b.add(2)
+        a.merge(b)
+        assert a.items == {1, 2}
+        assert 1 in a and len(a) == 2
+
+    def test_iteration(self):
+        s = GSet()
+        s.add("x")
+        assert list(s) == ["x"]
+
+
+class TestORSet:
+    def test_add_remove_locally(self):
+        s = ORSet("a")
+        s.add("x")
+        assert "x" in s
+        s.remove("x")
+        assert "x" not in s
+
+    def test_concurrent_add_survives_remove(self):
+        """Observed-remove semantics: a remove only kills adds it has seen."""
+        a, b = ORSet("a"), ORSet("b")
+        a.add("x")
+        b.add("x")           # concurrent add with a different tag
+        a.remove("x")        # removes only a's observed tag
+        a.merge(b)
+        b.merge(a)
+        assert "x" in a and "x" in b
+
+    def test_remove_after_sync_removes_everywhere(self):
+        a, b = ORSet("a"), ORSet("b")
+        a.add("x")
+        b.merge(a)           # b observes a's add
+        b.remove("x")
+        a.merge(b)
+        assert "x" not in a and "x" not in b
+
+    def test_readd_after_remove(self):
+        s = ORSet("a")
+        s.add("x")
+        s.remove("x")
+        s.add("x")
+        assert "x" in s
+
+    def test_len_and_iter(self):
+        s = ORSet("a")
+        s.add("x")
+        s.add("y")
+        assert len(s) == 2
+        assert sorted(s) == ["x", "y"]
+
+
+class TestLWWRegister:
+    def test_later_timestamp_wins(self):
+        register = LWWRegister("a")
+        register.set("old", 1.0)
+        register.set("new", 2.0)
+        assert register.value == "new"
+
+    def test_earlier_timestamp_ignored(self):
+        register = LWWRegister("a")
+        register.set("new", 2.0)
+        register.set("stale", 1.0)
+        assert register.value == "new"
+
+    def test_tie_broken_by_replica_id(self):
+        a, b = LWWRegister("a"), LWWRegister("b")
+        a.set("from-a", 1.0)
+        b.set("from-b", 1.0)
+        a.merge(b)
+        b.merge(a)
+        assert a.value == b.value == "from-b"
+
+    def test_merge_commutative(self):
+        a, b = LWWRegister("a"), LWWRegister("b")
+        a.set(1, 5.0)
+        b.set(2, 3.0)
+        a2, b2 = a.copy(), b.copy()
+        a.merge(b)
+        b2.merge(a2)
+        assert a == b2
+
+
+class TestLWWMap:
+    def test_set_get_delete(self):
+        m = LWWMap("a")
+        m.set("k", 1, 1.0)
+        assert m.get("k") == 1 and "k" in m
+        m.delete("k", 2.0)
+        assert m.get("k") is None and "k" not in m
+
+    def test_stale_delete_loses(self):
+        m = LWWMap("a")
+        m.set("k", 1, 5.0)
+        m.delete("k", 1.0)   # older than the set
+        assert m.get("k") == 1
+
+    def test_merge_per_key(self):
+        a, b = LWWMap("a"), LWWMap("b")
+        a.set("x", 1, 1.0)
+        b.set("y", 2, 1.0)
+        b.set("x", 99, 2.0)
+        a.merge(b)
+        assert a.get("x") == 99 and a.get("y") == 2
+        assert a.keys() == {"x", "y"}
+        assert len(a) == 2
+
+    def test_delete_propagates_via_merge(self):
+        a, b = LWWMap("a"), LWWMap("b")
+        a.set("k", 1, 1.0)
+        b.merge(a)
+        a.delete("k", 2.0)
+        b.merge(a)
+        assert b.get("k") is None

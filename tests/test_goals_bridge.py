@@ -1,0 +1,94 @@
+"""Tests for the resilience-report -> goal-model bridge."""
+
+import pytest
+
+from repro.core.goals_bridge import goal_model_from_report, resilience_verdict
+from repro.core.maturity import MaturityScenario, ScenarioParams
+from repro.core.resilience import RequirementAssessment, ResilienceReport
+from repro.core.vectors import MaturityLevel
+from repro.modeling.goals import GoalStatus
+
+
+def make_report(assessments, windows=((10.0, 20.0),)):
+    return ResilienceReport(label="test", horizon=100.0,
+                            disruption_windows=list(windows),
+                            assessments=assessments)
+
+
+def assessment(name, baseline, under, weight=1.0):
+    return RequirementAssessment(name=name, weight=weight, baseline=baseline,
+                                 under_disruption=under)
+
+
+class TestBridge:
+    def test_statuses_from_satisfaction(self):
+        report = make_report([
+            assessment("good", 1.0, 0.97),
+            assessment("bad", 1.0, 0.2),
+            assessment("shaky", 1.0, 0.7),
+        ])
+        model = goal_model_from_report(report)
+        assert model.status("req:good") == GoalStatus.SATISFIED
+        assert model.status("req:bad") == GoalStatus.DENIED
+        assert model.status("req:shaky") == GoalStatus.UNKNOWN
+        assert model.status() == GoalStatus.DENIED   # AND-refined root
+
+    def test_root_satisfied_when_all_persist(self):
+        report = make_report([
+            assessment("a", 1.0, 0.99),
+            assessment("b", 1.0, 0.95),
+        ])
+        model = goal_model_from_report(report)
+        assert model.status() == GoalStatus.SATISFIED
+
+    def test_unmeasured_requirement_unknown(self):
+        report = make_report([assessment("mystery", None, None)])
+        model = goal_model_from_report(report)
+        assert model.status("req:mystery") == GoalStatus.UNKNOWN
+
+    def test_obstacles_attach_to_dented_requirements(self):
+        report = make_report([
+            assessment("dented", 1.0, 0.6),
+            assessment("untouched", 1.0, 1.0),
+        ])
+        model = goal_model_from_report(report)
+        obstacles = model.obstacles()
+        assert len(obstacles) == 1
+        assert obstacles[0].obstructs == ["req:dented"]
+
+    def test_invalid_thresholds_raise(self):
+        report = make_report([assessment("a", 1.0, 1.0)])
+        with pytest.raises(ValueError):
+            goal_model_from_report(report, satisfied_threshold=0.4,
+                                   denied_threshold=0.6)
+
+    def test_verdict_summary(self):
+        report = make_report([
+            assessment("good", 1.0, 0.99),
+            assessment("bad", 1.0, 0.1),
+        ])
+        verdict = resilience_verdict(goal_model_from_report(report))
+        assert verdict["root_status"] == "denied"
+        assert verdict["satisfied_leaves"] == ["req:good"]
+        assert verdict["denied_leaves"] == ["req:bad"]
+        # The disruption window dented 'bad': activating it alone denies
+        # the root, so it is critical.
+        assert len(verdict["critical_obstacles"]) == 1
+
+
+class TestBridgeOverMaturityRuns:
+    def test_ml4_root_goal_satisfied(self):
+        params = ScenarioParams(n_sites=2, sensors_per_site=2, horizon=60.0,
+                                seed=42)
+        report = MaturityScenario(MaturityLevel.ML4, params).run()
+        model = goal_model_from_report(report, satisfied_threshold=0.85)
+        assert model.status() != GoalStatus.DENIED
+
+    def test_ml1_root_goal_denied(self):
+        params = ScenarioParams(n_sites=2, sensors_per_site=2, horizon=60.0,
+                                seed=42)
+        report = MaturityScenario(MaturityLevel.ML1, params).run()
+        model = goal_model_from_report(report)
+        assert model.status() == GoalStatus.DENIED
+        verdict = resilience_verdict(model)
+        assert "req:control-availability" in verdict["denied_leaves"]

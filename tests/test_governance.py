@@ -1,0 +1,219 @@
+"""Unit tests for domains, trust, flow policies and domain transfer."""
+
+import pytest
+
+from repro.data.item import DataItem, DataSensitivity
+from repro.data.lineage import LineageTracker
+from repro.devices.base import Device, DeviceClass
+from repro.devices.fleet import DeviceFleet
+from repro.governance.domains import (
+    CCPA,
+    EEA,
+    GDPR,
+    AdministrativeDomain,
+    DomainRegistry,
+    Jurisdiction,
+    TrustLevel,
+)
+from repro.governance.policy import FlowPolicy, PolicyEngine, PrivacyScope
+from repro.governance.transfer import DomainTransferProtocol
+
+
+@pytest.fixture
+def registry():
+    reg = DomainRegistry()
+    reg.add(AdministrativeDomain("hospital", GDPR, TrustLevel.TRUSTED))
+    reg.add(AdministrativeDomain("lab-eu", EEA, TrustLevel.TRUSTED))
+    reg.add(AdministrativeDomain("ads", CCPA, TrustLevel.PUBLIC))
+    return reg
+
+
+def make_engine(registry, domains_map, untrusted=()):
+    return PolicyEngine(
+        registry,
+        min_trust=TrustLevel.PARTNER,
+        device_domain=lambda d: domains_map[d],
+        environment_trusted=lambda d: d not in untrusted,
+    )
+
+
+def personal(key="hr", subject="alice"):
+    return DataItem(key, 1, "dev1", "hospital", 0.0,
+                    DataSensitivity.PERSONAL, subject=subject)
+
+
+class TestDomains:
+    def test_jurisdiction_residency(self):
+        assert GDPR.allows_personal_export_to(EEA)
+        assert GDPR.allows_personal_export_to(GDPR)
+        assert not GDPR.allows_personal_export_to(CCPA)
+
+    def test_duplicate_domain_raises(self, registry):
+        with pytest.raises(ValueError):
+            registry.add(AdministrativeDomain("hospital", GDPR))
+
+    def test_self_trust_is_owned(self, registry):
+        assert registry.trust("hospital", "hospital") == TrustLevel.OWNED
+
+    def test_default_trust_is_conservative_min(self, registry):
+        assert registry.trust("hospital", "ads") == TrustLevel.PUBLIC
+
+    def test_explicit_agreement_overrides(self, registry):
+        registry.set_trust("hospital", "ads", TrustLevel.PARTNER)
+        assert registry.trust("hospital", "ads") == TrustLevel.PARTNER
+        # Directional: the reverse is unchanged.
+        assert registry.trust("ads", "hospital") == TrustLevel.PUBLIC
+
+    def test_mutual_trust(self, registry):
+        registry.set_mutual_trust("hospital", "lab-eu", TrustLevel.TRUSTED)
+        assert registry.trust("hospital", "lab-eu") == TrustLevel.TRUSTED
+        assert registry.trust("lab-eu", "hospital") == TrustLevel.TRUSTED
+
+    def test_unknown_domain_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.trust("hospital", "ghost")
+
+    def test_same_jurisdiction(self, registry):
+        registry.add(AdministrativeDomain("clinic", GDPR))
+        assert registry.same_jurisdiction("hospital", "clinic")
+        assert not registry.same_jurisdiction("hospital", "ads")
+
+
+class TestPolicyEngine:
+    def test_residency_blocks_personal_cross_jurisdiction(self, registry):
+        engine = make_engine(registry, {"dev1": "hospital", "ads1": "ads"})
+        decision = engine.evaluate(personal(), "dev1", "ads1")
+        assert not decision.allowed and decision.rule == "residency"
+
+    def test_residency_allows_adequate_jurisdiction(self, registry):
+        registry.set_mutual_trust("hospital", "lab-eu", TrustLevel.TRUSTED)
+        engine = make_engine(registry, {"dev1": "hospital", "lab1": "lab-eu"})
+        assert engine.evaluate(personal(), "dev1", "lab1").allowed
+
+    def test_public_data_flows_anywhere(self, registry):
+        engine = make_engine(registry, {"dev1": "hospital", "ads1": "ads"})
+        item = DataItem("weather", 20, "dev1", "hospital", 0.0,
+                        DataSensitivity.PUBLIC)
+        assert engine.evaluate(item, "dev1", "ads1").allowed
+
+    def test_trust_gate_for_internal_data(self, registry):
+        engine = make_engine(registry, {"dev1": "hospital", "ads1": "ads"})
+        item = DataItem("cfg", 1, "dev1", "hospital", 0.0,
+                        DataSensitivity.INTERNAL)
+        decision = engine.evaluate(item, "dev1", "ads1")
+        assert not decision.allowed and decision.rule == "trust"
+
+    def test_untrusted_environment_blocks_personal(self, registry):
+        registry.set_mutual_trust("hospital", "lab-eu", TrustLevel.TRUSTED)
+        engine = make_engine(registry, {"dev1": "hospital", "lab1": "lab-eu"},
+                             untrusted={"lab1"})
+        decision = engine.evaluate(personal(), "dev1", "lab1")
+        assert not decision.allowed and decision.rule == "environment"
+
+    def test_out_flow_policy_cap(self, registry):
+        engine = make_engine(registry, {"dev1": "hospital", "dev2": "hospital"})
+        engine.set_policy(FlowPolicy("dev1",
+                                     max_out_sensitivity=DataSensitivity.INTERNAL))
+        decision = engine.evaluate(personal(), "dev1", "dev2")
+        assert not decision.allowed and decision.rule == "out-flow"
+
+    def test_in_flow_policy_cap(self, registry):
+        engine = make_engine(registry, {"dev1": "hospital", "dev2": "hospital"})
+        engine.set_policy(FlowPolicy("dev2",
+                                     max_in_sensitivity=DataSensitivity.INTERNAL))
+        decision = engine.evaluate(personal(), "dev1", "dev2")
+        assert not decision.allowed and decision.rule == "in-flow"
+
+    def test_deny_domains_blacklist(self, registry):
+        engine = make_engine(registry, {"dev1": "hospital", "lab1": "lab-eu"})
+        registry.set_mutual_trust("hospital", "lab-eu", TrustLevel.TRUSTED)
+        engine.set_policy(FlowPolicy("dev1", deny_domains={"lab-eu"}))
+        item = DataItem("x", 1, "dev1", "hospital", 0.0, DataSensitivity.PUBLIC)
+        decision = engine.evaluate(item, "dev1", "lab1")
+        assert not decision.allowed
+
+    def test_privacy_scope_blocks_exit(self, registry):
+        engine = make_engine(registry, {"dev1": "hospital", "dev2": "hospital"})
+        engine.add_scope(PrivacyScope("ward", members={"dev1"}))
+        decision = engine.evaluate(personal(), "dev1", "dev2")
+        assert not decision.allowed and decision.rule == "scope"
+
+    def test_privacy_scope_allows_internal_movement(self, registry):
+        engine = make_engine(registry, {"dev1": "hospital", "dev2": "hospital"})
+        engine.add_scope(PrivacyScope("ward", members={"dev1", "dev2"}))
+        assert engine.evaluate(personal(), "dev1", "dev2").allowed
+
+    def test_scope_ignores_low_sensitivity(self, registry):
+        engine = make_engine(registry, {"dev1": "hospital", "dev2": "hospital"})
+        engine.add_scope(PrivacyScope("ward", members={"dev1"}))
+        item = DataItem("temp", 20, "dev1", "hospital", 0.0, DataSensitivity.INTERNAL)
+        assert engine.evaluate(item, "dev1", "dev2").allowed
+
+    def test_anonymized_item_escapes_scope(self, registry):
+        engine = make_engine(registry, {"dev1": "hospital", "ads1": "ads"})
+        engine.add_scope(PrivacyScope("ward", members={"dev1"}))
+        anonymous = personal().anonymize("dev1", 1.0)
+        assert engine.evaluate(anonymous, "dev1", "ads1").allowed
+
+    def test_audit_ledger(self, registry):
+        engine = make_engine(registry, {"dev1": "hospital", "ads1": "ads"})
+        engine.evaluate(personal(), "dev1", "ads1", now=1.0)
+        engine.evaluate(personal().anonymize("dev1", 1.0), "dev1", "ads1", now=2.0)
+        assert engine.denial_count() == 1
+        assert engine.denials_by_rule() == {"residency": 1}
+
+    def test_domain_pseudo_device(self, registry):
+        engine = make_engine(registry, {"dev1": "hospital"})
+        decision = engine.evaluate(personal(), "dev1", "<domain:ads>")
+        assert not decision.allowed and decision.rule == "residency"
+
+    def test_duplicate_scope_raises(self, registry):
+        engine = make_engine(registry, {"dev1": "hospital"})
+        engine.add_scope(PrivacyScope("s", members=set()))
+        with pytest.raises(ValueError):
+            engine.add_scope(PrivacyScope("s", members=set()))
+
+
+class TestDomainTransfer:
+    def _rig(self, sim, registry):
+        fleet = DeviceFleet(sim)
+        fleet.add(Device("car", DeviceClass.MOBILE, domain="hospital"))
+        engine = make_engine(registry, {"car": "hospital"})
+        # The device's domain changes during transfer; resolve dynamically.
+        engine._device_domain = lambda d: fleet.get(d).domain if d == "car" else "hospital"
+        lineage = LineageTracker()
+        protocol = DomainTransferProtocol(sim, fleet, engine, lineage=lineage)
+        return fleet, engine, protocol, lineage
+
+    def test_transfer_sanitizes_personal_data(self, sim, registry):
+        fleet, engine, protocol, lineage = self._rig(sim, registry)
+        item = personal()
+        protocol.register_resident_data("car", item)
+        counters = protocol.transfer("car", "ads")
+        # The personal item is replaced by its anonymized derivation.
+        assert counters == {"kept": 0, "anonymized": 1, "purged": 0}
+        assert fleet.get("car").domain == "ads"
+        resident = protocol.resident_data("car")
+        assert len(resident) == 1
+        assert resident[0].sensitivity == DataSensitivity.PUBLIC
+        assert lineage.denial_count() == 1
+
+    def test_transfer_purges_when_anonymization_disabled(self, sim, registry):
+        fleet, engine, protocol, lineage = self._rig(sim, registry)
+        protocol.register_resident_data("car", personal())
+        counters = protocol.transfer("car", "ads", anonymize_instead_of_purge=False)
+        assert counters["purged"] == 1
+        assert protocol.resident_data("car") == []
+
+    def test_transfer_keeps_compliant_data(self, sim, registry):
+        fleet, engine, protocol, _ = self._rig(sim, registry)
+        public = DataItem("weather", 20, "car", "hospital", 0.0,
+                          DataSensitivity.PUBLIC)
+        protocol.register_resident_data("car", public)
+        counters = protocol.transfer("car", "ads")
+        assert counters == {"kept": 1, "anonymized": 0, "purged": 0}
+
+    def test_transfer_to_unknown_domain_raises(self, sim, registry):
+        fleet, engine, protocol, _ = self._rig(sim, registry)
+        with pytest.raises(KeyError):
+            protocol.transfer("car", "atlantis")

@@ -1,0 +1,130 @@
+"""Tests for the compliance auditor."""
+
+import pytest
+
+from repro.data.item import DataItem, DataSensitivity
+from repro.data.lineage import LineageTracker
+from repro.governance.audit import ComplianceAuditor
+from repro.governance.domains import (
+    CCPA,
+    GDPR,
+    AdministrativeDomain,
+    DomainRegistry,
+    TrustLevel,
+)
+from repro.governance.policy import PolicyEngine
+from repro.workloads.healthcare import HealthcareWorkload
+
+
+@pytest.fixture
+def audited_lineage():
+    """A small history: raw personal item stays home; its anonymized
+    derivation crosses domains; one denial."""
+    lineage = LineageTracker()
+    raw = DataItem("hr", 72, "wearable", "clinic", 0.0,
+                   DataSensitivity.PERSONAL, subject="alice")
+    lineage.record_created(raw, 0.0, "wearable")
+    lineage.record_moved(raw, 1.0, "clinic-server", "clinic")
+    anonymous = raw.anonymize("clinic-server", 2.0)
+    lineage.record_created(anonymous, 2.0, "clinic-server")
+    lineage.record_moved(anonymous, 3.0, "lab-server", "lab")
+    lineage.record_denied(raw, 4.0, "lab-server", "lab", "residency")
+    return lineage, raw, anonymous
+
+
+class TestDataMap:
+    def test_data_map_cells(self, audited_lineage):
+        lineage, raw, anonymous = audited_lineage
+        auditor = ComplianceAuditor(lineage)
+        data_map = auditor.data_map()
+        assert data_map[("clinic", "clinic")] == {"PERSONAL": 1}
+        assert data_map[("clinic", "lab")] == {"PUBLIC": 1}
+
+    def test_cross_domain_count(self, audited_lineage):
+        lineage, _, _ = audited_lineage
+        auditor = ComplianceAuditor(lineage)
+        assert auditor.cross_domain_flow_count() == 1
+
+    def test_summary(self, audited_lineage):
+        lineage, _, _ = audited_lineage
+        summary = ComplianceAuditor(lineage).summary()
+        assert summary["total_flows"] == 2
+        assert summary["sensitive_flows"] == 1
+        assert summary["sensitive_cross_domain"] == 0
+        assert summary["denials"] == 1
+
+
+class TestSubjectReport:
+    def test_raw_vs_derived_exposure(self, audited_lineage):
+        lineage, _, _ = audited_lineage
+        report = ComplianceAuditor(lineage).subject_report("alice")
+        assert report.items_produced == 1
+        assert report.raw_domains_reached == ["clinic"]
+        assert report.derived_domains_reached == ["lab"]
+        assert report.denials == 1
+        assert report.exposure_beyond_origin
+
+    def test_unknown_subject_empty(self, audited_lineage):
+        lineage, _, _ = audited_lineage
+        report = ComplianceAuditor(lineage).subject_report("bob")
+        assert report.items_produced == 0
+        assert not report.exposure_beyond_origin
+
+
+class TestRetroAudit:
+    def _engine(self):
+        registry = DomainRegistry()
+        registry.add(AdministrativeDomain("clinic", GDPR, TrustLevel.TRUSTED))
+        registry.add(AdministrativeDomain("lab", CCPA, TrustLevel.PARTNER))
+        registry.set_mutual_trust("clinic", "lab", TrustLevel.PARTNER)
+        return PolicyEngine(registry, min_trust=TrustLevel.PARTNER)
+
+    def test_clean_history_passes(self, audited_lineage):
+        lineage, _, _ = audited_lineage
+        auditor = ComplianceAuditor(lineage, policy_engine=self._engine())
+        assert auditor.retro_audit() == []
+
+    def test_historical_leak_detected(self):
+        """An ungoverned system moved raw personal data cross-border;
+        the retro-audit flags it."""
+        lineage = LineageTracker()
+        raw = DataItem("hr", 72, "wearable", "clinic", 0.0,
+                       DataSensitivity.PERSONAL, subject="alice")
+        lineage.record_created(raw, 0.0, "wearable")
+        lineage.record_moved(raw, 1.0, "lab-server", "lab")
+        auditor = ComplianceAuditor(lineage, policy_engine=self._engine())
+        violations = auditor.retro_audit()
+        assert len(violations) == 1
+        flow, decision = violations[0]
+        assert flow.dst_domain == "lab"
+        assert decision.rule == "residency"
+
+    def test_retro_audit_without_engine_raises(self, audited_lineage):
+        lineage, _, _ = audited_lineage
+        with pytest.raises(ValueError):
+            ComplianceAuditor(lineage).retro_audit()
+
+
+class TestAuditOverWorkload:
+    def test_healthcare_workload_is_compliant(self):
+        workload = HealthcareWorkload(n_patients=2, seed=13)
+        workload.run(20.0)
+        auditor = ComplianceAuditor(workload.lineage,
+                                    policy_engine=workload.policy_engine)
+        # Everything that crossed into the lab's jurisdiction was PUBLIC.
+        violations = auditor.retro_audit()
+        assert violations == []
+        summary = auditor.summary()
+        assert summary["total_flows"] > 0
+        # Sensitive data crossed only into the trusted same-jurisdiction
+        # hospital domain -- never into the lab.
+        sensitive_destinations = {
+            flow.dst_domain
+            for flow in auditor.flows()
+            if flow.sensitivity >= DataSensitivity.PERSONAL
+            and flow.src_domain != flow.dst_domain
+        }
+        assert sensitive_destinations == {"hospital"}
+        report = auditor.subject_report("patient0")
+        assert "lab" in report.derived_domains_reached
+        assert "lab" not in report.raw_domains_reached

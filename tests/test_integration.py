@@ -1,0 +1,288 @@
+"""Integration tests: multiple subsystems working together end-to-end."""
+
+import pytest
+
+from repro.adaptation import (
+    DeviceLivenessAnalyzer,
+    Executor,
+    MapeLoop,
+    RuleBasedPlanner,
+    ServiceHealthAnalyzer,
+    StaleKnowledgeAnalyzer,
+)
+from repro.coordination.gossip import GossipNode
+from repro.coordination.raft import RaftCluster
+from repro.coordination.registry import ServiceRecord, ServiceRegistry
+from repro.core.system import IoTSystem
+from repro.data.crdt import PNCounter
+from repro.data.sync import ReplicaStore, SyncProtocol, converged
+from repro.devices.base import Device, DeviceClass
+from repro.devices.software import Service, ServiceState
+from repro.faults.models import CrashRecoveryFault, PartitionFault, ServiceFailureFault
+from repro.faults.schedule import DisruptionSchedule, RandomDisruptionGenerator
+from repro.modeling.properties import Always, LeadsTo, prop
+from repro.modeling.runtime_monitor import MonitorVerdict, RuntimeMonitor, TraceStateAdapter
+from repro.network.topology import build_mesh_topology
+from repro.network.transport import Network
+
+
+class TestRaftUnderRandomDisruption:
+    """State-machine safety must survive a random crash/partition storm."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_safety_under_fault_storm(self, seed):
+        system = IoTSystem(seed=seed)
+        nodes = [f"r{i}" for i in range(5)]
+        for i, node in enumerate(nodes):
+            system.topology.add_node(node)
+            system.fleet.add(Device(node, DeviceClass.EDGE))
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                system.topology.add_link(a, b, profile="lan")
+        cluster = RaftCluster(system.sim, system.network, nodes,
+                              system.rngs.stream("raft"))
+        cluster.start()
+
+        generator = RandomDisruptionGenerator(
+            system.rngs.stream("storm"), rate=0.08, mean_duration=8.0,
+            fault_mix={"crash": 0.6, "partition": 0.4},
+        )
+        schedule = generator.generate(
+            90.0, crash_targets=nodes, partition_targets=nodes,
+        )
+        schedule.install(system.injector)
+
+        proposals = {"count": 0}
+
+        def propose(sim_obj) -> None:
+            if cluster.propose({"n": proposals["count"]}):
+                proposals["count"] += 1
+            sim_obj.schedule(1.0, propose)
+
+        system.sim.schedule(5.0, propose)
+        system.run(until=120.0)
+        assert cluster.state_machine_consistent()
+        assert proposals["count"] > 10
+        # Every live node that applied anything applied a prefix.
+        longest = max(cluster.applied.values(), key=len)
+        assert len(longest) > 0
+
+    def test_liveness_resumes_after_storm(self):
+        system = IoTSystem(seed=99)
+        nodes = [f"r{i}" for i in range(3)]
+        for node in nodes:
+            system.topology.add_node(node)
+            system.fleet.add(Device(node, DeviceClass.EDGE))
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                system.topology.add_link(a, b, profile="lan")
+        cluster = RaftCluster(system.sim, system.network, nodes,
+                              system.rngs.stream("raft"))
+        cluster.start()
+        schedule = DisruptionSchedule()
+        schedule.add(10.0, CrashRecoveryFault(name="c0", duration=10.0,
+                                              device_id="r0"))
+        schedule.add(15.0, PartitionFault(name="p1", duration=10.0,
+                                          isolate_node="r1"))
+        schedule.install(system.injector)
+        system.run(until=60.0)
+        assert cluster.leader() is not None
+        before = len(max(cluster.applied.values(), key=len))
+        assert cluster.propose("post-storm")
+        system.run(until=70.0)
+        assert any("post-storm" in applied for applied in cluster.applied.values())
+
+
+class TestMapePlusOrchestration:
+    def test_edge_loop_with_migration_heals_depleted_host(self):
+        """A service on a host that crashes migrates to a peer via the
+        planner escalation path, driven end-to-end through the loop."""
+        system = IoTSystem(seed=4)
+        for node in ("edge", "g1", "g2"):
+            system.topology.add_node(node)
+        system.topology.add_link("edge", "g1", profile="lan")
+        system.topology.add_link("edge", "g2", profile="lan")
+        system.fleet.add(Device("edge", DeviceClass.EDGE))
+        system.fleet.add(Device("g1", DeviceClass.GATEWAY))
+        system.fleet.add(Device("g2", DeviceClass.GATEWAY))
+        system.fleet.get("g1").host(Service("svc"))
+        loop = MapeLoop(
+            system.sim, system.network, system.fleet, "edge", ["g1", "g2"],
+            analyzers=[ServiceHealthAnalyzer(), DeviceLivenessAnalyzer()],
+            planner=RuleBasedPlanner(max_restarts=0),   # migrate immediately
+            executor=Executor(system.sim, system.network, system.fleet, "edge",
+                              system.rngs.stream("exec"),
+                              reboot_success_rate=0.0,   # reboots never work
+                              trace=system.trace),
+            period=1.0, trace=system.trace,
+        )
+        loop.start()
+        system.run(until=2.5)
+        # Mark the service failed; with max_restarts=0 the planner migrates.
+        system.fleet.get("g1").stack.mark_failed("svc")
+        system.run(until=8.0)
+        assert system.fleet.get("g2").hosts("svc")
+        assert system.fleet.get("g2").stack.service("svc").state == ServiceState.RUNNING
+
+
+class TestRuntimeMonitorOverLiveSystem:
+    def test_recovery_property_verified_on_trace(self):
+        """models@runtime: watch G(fault ~> recovery) over a live system
+        with MAPE healing, and confirm the verdict is SATISFIED."""
+        system = IoTSystem.with_edge_cloud_landscape(1, 2, seed=8)
+        device = system.fleet.get("d0.0")
+        device.host(Service("svc"))
+        loop = MapeLoop(
+            system.sim, system.network, system.fleet, "edge0",
+            ["d0.0", "d0.1"],
+            analyzers=[ServiceHealthAnalyzer()],
+            planner=RuleBasedPlanner(),
+            executor=Executor(system.sim, system.network, system.fleet, "edge0",
+                              system.rngs.stream("exec"), trace=system.trace),
+            period=1.0, trace=system.trace,
+        )
+        loop.start()
+        monitor = RuntimeMonitor()
+        monitor.watch("self-heal", LeadsTo(prop("degraded"), prop("healthy")))
+        adapter = (TraceStateAdapter(monitor)
+                   .set_initial({"healthy"})
+                   .rule(category="fault", name="service-failure",
+                         add={"degraded"}, remove={"healthy"})
+                   .rule(category="recovery", name="mape-repair",
+                         add={"healthy"}, remove={"degraded"}))
+        adapter.attach(system.trace)
+        system.injector.inject_at(5.0, ServiceFailureFault(
+            name="f", device_id="d0.0", service_name="svc"))
+        system.run(until=20.0)
+        assert monitor.final_verdicts()["self-heal"] == MonitorVerdict.SATISFIED
+        latencies = monitor.response_latencies("self-heal")
+        assert len(latencies) == 1 and latencies[0] < 5.0
+
+    def test_without_healing_property_violated(self):
+        system = IoTSystem.with_edge_cloud_landscape(1, 2, seed=8)
+        system.fleet.get("d0.0").host(Service("svc"))
+        monitor = RuntimeMonitor()
+        monitor.watch("self-heal", LeadsTo(prop("degraded"), prop("healthy")))
+        adapter = (TraceStateAdapter(monitor)
+                   .set_initial({"healthy"})
+                   .rule(category="fault", name="service-failure",
+                         add={"degraded"}, remove={"healthy"})
+                   .rule(category="recovery", name="mape-repair",
+                         add={"healthy"}, remove={"degraded"}))
+        adapter.attach(system.trace)
+        system.injector.inject_at(5.0, ServiceFailureFault(
+            name="f", device_id="d0.0", service_name="svc"))
+        system.run(until=20.0)
+        assert monitor.final_verdicts()["self-heal"] == MonitorVerdict.VIOLATED
+
+
+class TestBatteryAwareAdaptation:
+    def test_low_battery_triggers_preemptive_migration(self):
+        """BatteryAnalyzer + planner: services evacuate a draining mobile
+        device before it dies (§VII's countermeasures under domain
+        constraints -- here the constraint is energy)."""
+        from repro.adaptation.analyzer import BatteryAnalyzer
+        from repro.devices.base import DeviceClass
+
+        system = IoTSystem(seed=6)
+        for node in ("edge", "phone", "gateway"):
+            system.topology.add_node(node)
+        system.topology.add_link("phone", "edge", profile="cellular")
+        system.topology.add_link("gateway", "edge", profile="lan")
+        system.fleet.add(Device("edge", DeviceClass.EDGE))
+        phone = system.fleet.add(Device("phone", DeviceClass.MOBILE))
+        system.fleet.add(Device("gateway", DeviceClass.GATEWAY))
+        phone.host(Service("companion-app", runtime="python"))
+        loop = MapeLoop(
+            system.sim, system.network, system.fleet, "edge",
+            ["phone", "gateway"],
+            analyzers=[BatteryAnalyzer(threshold=0.3)],
+            planner=RuleBasedPlanner(),
+            executor=Executor(system.sim, system.network, system.fleet,
+                              "edge", system.rngs.stream("exec"),
+                              trace=system.trace),
+            period=1.0, trace=system.trace,
+        )
+        loop.start()
+        system.run(until=3.0)
+        assert phone.hosts("companion-app")   # healthy battery: no action
+        # Drain the phone to 10%.
+        phone.battery.drain(phone.battery.capacity * 0.9)
+        system.run(until=10.0)
+        assert not phone.hosts("companion-app")
+        assert system.fleet.get("gateway").hosts("companion-app")
+        assert system.fleet.get("gateway").stack.service(
+            "companion-app").state == ServiceState.RUNNING
+
+
+class TestMdpPlannerInLiveLoop:
+    def test_mdp_planned_loop_heals_service(self):
+        """A MAPE loop planning via the repair MDP (instead of rules)
+        repairs a failed service end to end."""
+        from repro.adaptation.mdp_planner import MdpPlanner
+
+        system = IoTSystem.with_edge_cloud_landscape(1, 2, seed=21)
+        device = system.fleet.get("d0.0")
+        device.host(Service("svc"))
+        planner = MdpPlanner()
+        loop = MapeLoop(
+            system.sim, system.network, system.fleet, "edge0",
+            ["d0.0", "d0.1"],
+            analyzers=[ServiceHealthAnalyzer(), DeviceLivenessAnalyzer()],
+            planner=planner,
+            executor=Executor(system.sim, system.network, system.fleet,
+                              "edge0", system.rngs.stream("exec"),
+                              trace=system.trace),
+            period=1.0, trace=system.trace,
+        )
+        loop.start()
+        system.injector.inject_at(5.0, ServiceFailureFault(
+            name="f", device_id="d0.0", service_name="svc"))
+        system.run(until=20.0)
+        assert device.stack.service("svc").state == ServiceState.RUNNING
+        assert any(d.endswith(":restart") for d in planner.decisions)
+
+
+class TestRegistryBackedDiscoveryUnderChurn:
+    def test_lookup_follows_failover(self, sim, rngs, trace):
+        nodes = ["e1", "e2", "e3"]
+        topology = build_mesh_topology(nodes, rng=rngs.stream("net"))
+        network = Network(sim, topology, trace=trace)
+        gossips = {
+            n: GossipNode(sim, network, n, nodes, rngs.stream(f"g:{n}"),
+                          period=0.5)
+            for n in nodes
+        }
+        registries = {n: ServiceRegistry(g) for n, g in gossips.items()}
+        for g in gossips.values():
+            g.start()
+        registries["e1"].advertise(ServiceRecord("api", "e1"))
+        sim.run(until=5.0)
+        assert registries["e3"].lookup("api").device_id == "e1"
+        # e1 dies; e2 takes over and withdraws the dead instance.
+        network.set_node_up("e1", False)
+        registries["e2"].withdraw("api", "e1")
+        registries["e2"].advertise(ServiceRecord("api", "e2"))
+        sim.run(until=15.0)
+        assert registries["e3"].lookup("api").device_id == "e2"
+
+
+class TestReplicationAcrossSites:
+    def test_counter_converges_across_edge_mesh_despite_cloud_outage(self):
+        system = IoTSystem.with_edge_cloud_landscape(3, 1, seed=3)
+        edges = system.edge_nodes
+        stores = {}
+        for edge in edges:
+            store = ReplicaStore(edge)
+            store.register("events", PNCounter(edge))
+            stores[edge] = store
+            SyncProtocol(system.sim, system.network, store,
+                         [e for e in edges if e != edge],
+                         system.rngs.stream(f"sync:{edge}"), period=0.5).start()
+        system.partitions.schedule_outage(1.0, 28.0, "cloud")
+        system.sim.schedule(5.0, lambda s: stores["edge0"].get("events").increment(4))
+        system.sim.schedule(6.0, lambda s: stores["edge2"].get("events").increment(2))
+        system.run(until=20.0)
+        # Convergence through the inter-edge metro mesh, cloud fully cut.
+        assert converged(list(stores.values()), "events")
+        assert stores["edge1"].get("events").value == 6

@@ -1,0 +1,164 @@
+"""Tests for the maturity-level archetypes (the executable Tables 1-2).
+
+These are the slowest tests in the suite (each runs a full scenario), so
+the horizon is kept short where the assertion allows it.
+"""
+
+import pytest
+
+from repro.core.maturity import (
+    MaturityScenario,
+    ScenarioParams,
+    run_maturity_comparison,
+)
+from repro.core.vectors import MaturityLevel
+from repro.devices.software import ServiceState
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """One shared full-length comparison run for the shape assertions."""
+    params = ScenarioParams(n_sites=3, sensors_per_site=4, horizon=120.0, seed=42)
+    return run_maturity_comparison(params)
+
+
+class TestScenarioConstruction:
+    def test_placement_per_level(self):
+        params = ScenarioParams(horizon=1.0, disruption=False)
+        assert MaturityScenario(MaturityLevel.ML1, params).proc_host(0) == "d0.0"
+        assert MaturityScenario(MaturityLevel.ML2, params).proc_host(0) == "cloud"
+        assert MaturityScenario(MaturityLevel.ML3, params).proc_host(0) == "edge0"
+        ml4_host = MaturityScenario(MaturityLevel.ML4, params).proc_host(0)
+        assert ml4_host is not None and ml4_host != "cloud"
+
+    def test_loops_per_level(self):
+        params = ScenarioParams(horizon=1.0, disruption=False)
+        assert MaturityScenario(MaturityLevel.ML1, params)._loops == {}
+        ml2 = MaturityScenario(MaturityLevel.ML2, params)
+        assert list(ml2._loops) == ["cloud"]
+        ml3 = MaturityScenario(MaturityLevel.ML3, params)
+        assert sorted(ml3._loops) == ["edge0", "edge1", "edge2"]
+
+    def test_identical_disruption_schedule_across_levels(self):
+        params = ScenarioParams(horizon=1.0)
+        schedules = [
+            [(e.time, e.fault.name) for e in
+             MaturityScenario(level, params).schedule.entries]
+            for level in MaturityLevel
+        ]
+        assert all(s == schedules[0] for s in schedules[1:])
+
+
+class TestShortRuns:
+    def test_ml3_repairs_service_failure(self):
+        params = ScenarioParams(n_sites=2, sensors_per_site=2, horizon=30.0,
+                                seed=7)
+        scenario = MaturityScenario(MaturityLevel.ML3, params)
+        scenario.run()
+        host = scenario.system.fleet.get(scenario.proc_host(0))
+        assert host.stack.service("proc0").state == ServiceState.RUNNING
+
+    def test_ml1_service_stays_failed_within_technician_period(self):
+        params = ScenarioParams(n_sites=2, sensors_per_site=2, horizon=30.0,
+                                seed=7, technician_period=80.0)
+        scenario = MaturityScenario(MaturityLevel.ML1, params)
+        scenario.run()
+        host = scenario.system.fleet.get("d0.0")
+        assert host.stack.service("proc0").state == ServiceState.FAILED
+
+    def test_ml2_privacy_violations_traced(self):
+        params = ScenarioParams(n_sites=2, sensors_per_site=2, horizon=20.0,
+                                seed=7)
+        scenario = MaturityScenario(MaturityLevel.ML2, params)
+        scenario.run()
+        assert scenario.system.trace.count(
+            category="governance", name="privacy-violation") > 0
+
+    def test_ml4_no_privacy_violations(self):
+        params = ScenarioParams(n_sites=2, sensors_per_site=2, horizon=20.0,
+                                seed=7)
+        scenario = MaturityScenario(MaturityLevel.ML4, params)
+        scenario.run()
+        assert scenario.system.trace.count(
+            category="governance", name="privacy-violation") == 0
+
+
+class TestComparisonShape:
+    """The T1/T2 claims recorded in EXPERIMENTS.md."""
+
+    def test_resilience_strictly_improves_with_maturity(self, comparison):
+        scores = [comparison[level].resilience_score for level in MaturityLevel]
+        assert all(a < b for a, b in zip(scores, scores[1:])), scores
+
+    def test_ml4_near_full_resilience(self, comparison):
+        assert comparison[MaturityLevel.ML4].resilience_score > 0.9
+
+    def test_ml1_dashboard_isolated(self, comparison):
+        assessment = comparison[MaturityLevel.ML1].assessment("dashboard-freshness")
+        assert (assessment.under_disruption or 0.0) < 0.1
+
+    def test_ml2_privacy_violations_hurt_score(self, comparison):
+        ml2 = comparison[MaturityLevel.ML2].assessment("privacy")
+        ml4 = comparison[MaturityLevel.ML4].assessment("privacy")
+        assert (ml2.under_disruption or 0.0) < (ml4.under_disruption or 0.0)
+
+    def test_ml4_dashboard_survives_cloud_outage(self, comparison):
+        """ML4 serves the dashboard from edge replicas: freshness holds
+        even while the cloud is partitioned; ML2/ML3 degrade."""
+        ml4 = comparison[MaturityLevel.ML4].assessment("dashboard-freshness")
+        ml2 = comparison[MaturityLevel.ML2].assessment("dashboard-freshness")
+        assert (ml4.under_disruption or 0.0) > 0.9
+        assert (ml2.under_disruption or 0.0) < 0.9
+
+    def test_edge_levels_keep_control_during_disruption(self, comparison):
+        ml2 = comparison[MaturityLevel.ML2].assessment("control-availability")
+        ml3 = comparison[MaturityLevel.ML3].assessment("control-availability")
+        assert (ml3.under_disruption or 0.0) > (ml2.under_disruption or 0.0)
+
+    def test_service_availability_ordering(self, comparison):
+        values = [
+            comparison[level].assessment("service-availability").under_disruption
+            for level in MaturityLevel
+        ]
+        assert values[0] < values[2] < values[3]   # ML1 < ML3 < ML4
+
+    def test_reports_cover_all_requirements(self, comparison):
+        names = {a.name for a in comparison[MaturityLevel.ML4].assessments}
+        assert names == {
+            "service-availability", "reading-latency", "sensing-coverage",
+            "dashboard-freshness", "privacy", "control-availability",
+        }
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", [3, 17, 99])
+    def test_ordering_holds_across_seeds(self, seed):
+        """The headline shape (ML1 < ML3 < ML4, ML4 > 0.9) is not a
+        property of one lucky seed.  (ML1 vs ML2 ordering can tighten on
+        short horizons, so the cross-seed check asserts the robust part.)"""
+        params = ScenarioParams(n_sites=2, sensors_per_site=3, horizon=120.0,
+                                seed=seed)
+        reports = run_maturity_comparison(params)
+        scores = {level: reports[level].resilience_score
+                  for level in MaturityLevel}
+        assert scores[MaturityLevel.ML1] < scores[MaturityLevel.ML3]
+        assert scores[MaturityLevel.ML3] < scores[MaturityLevel.ML4]
+        assert scores[MaturityLevel.ML2] < scores[MaturityLevel.ML4]
+        assert scores[MaturityLevel.ML4] > 0.9
+
+
+class TestDeterminism:
+    def test_same_seed_same_score(self):
+        params = ScenarioParams(n_sites=2, sensors_per_site=2, horizon=40.0,
+                                seed=5)
+        first = MaturityScenario(MaturityLevel.ML3, params).run()
+        second = MaturityScenario(MaturityLevel.ML3, params).run()
+        assert first.resilience_score == second.resilience_score
+
+    def test_different_seed_may_differ_but_valid(self):
+        params_a = ScenarioParams(n_sites=2, sensors_per_site=2, horizon=40.0, seed=5)
+        params_b = ScenarioParams(n_sites=2, sensors_per_site=2, horizon=40.0, seed=6)
+        a = MaturityScenario(MaturityLevel.ML3, params_a).run()
+        b = MaturityScenario(MaturityLevel.ML3, params_b).run()
+        assert 0.0 <= a.resilience_score <= 1.0
+        assert 0.0 <= b.resilience_score <= 1.0

@@ -1,0 +1,237 @@
+"""Tests for the MDP solver, the MDP planner, and trace model mining."""
+
+import math
+
+import pytest
+
+from repro.adaptation.actions import (
+    MigrateServiceAction,
+    RebootDeviceAction,
+    RestartServiceAction,
+)
+from repro.adaptation.knowledge import DeviceSnapshot, Issue, KnowledgeBase
+from repro.adaptation.mdp_planner import (
+    MdpPlanner,
+    RepairModel,
+    build_device_repair_mdp,
+    build_service_repair_mdp,
+)
+from repro.modeling.mdp import Mdp, Transition
+from repro.modeling.mining import (
+    estimate_availability,
+    mine_action_success_rates,
+    mine_availability_dtmc,
+)
+from repro.simulation.trace import TraceLog
+
+
+class TestMdpSolver:
+    def test_two_state_analytic(self):
+        """One action, known reward: V = r / (1 - gamma) at fixpoint."""
+        mdp = Mdp(discount=0.5)
+        mdp.add_state("s")
+        mdp.add_state("t")
+        mdp.add_action("s", "go", [Transition(1.0, "t", 10.0)])
+        values, policy = mdp.value_iteration()
+        assert values["s"] == pytest.approx(10.0)   # terminal next: V(t)=0
+        assert policy["s"] == "go"
+        assert policy["t"] is None
+
+    def test_prefers_higher_expected_value(self):
+        mdp = Mdp(discount=0.9)
+        for state in ("s", "win", "lose"):
+            mdp.add_state(state)
+        mdp.add_action("s", "safe", [Transition(1.0, "win", 10.0)])
+        mdp.add_action("s", "gamble", [
+            Transition(0.5, "win", 30.0),
+            Transition(0.5, "lose", -20.0),
+        ])
+        values, policy = mdp.value_iteration()
+        # E[gamble] = 5 < E[safe] = 10.
+        assert policy["s"] == "safe"
+
+    def test_discount_affects_long_chains(self):
+        mdp = Mdp(discount=0.5)
+        for state in ("a", "b", "goal"):
+            mdp.add_state(state)
+        mdp.add_action("a", "slow", [Transition(1.0, "b", 0.0)])
+        mdp.add_action("a", "direct", [Transition(1.0, "goal", 6.0)])
+        mdp.add_action("b", "finish", [Transition(1.0, "goal", 10.0)])
+        values, policy = mdp.value_iteration()
+        # direct: 6 now; slow: 0.5 * 10 = 5 discounted.
+        assert policy["a"] == "direct"
+
+    def test_probabilities_must_sum_to_one(self):
+        mdp = Mdp()
+        mdp.add_state("s")
+        with pytest.raises(ValueError):
+            mdp.add_action("s", "bad", [Transition(0.5, "s", 0.0)])
+
+    def test_unknown_next_state_raises(self):
+        mdp = Mdp()
+        mdp.add_state("s")
+        with pytest.raises(KeyError):
+            mdp.add_action("s", "go", [Transition(1.0, "ghost", 0.0)])
+
+    def test_invalid_discount_raises(self):
+        with pytest.raises(ValueError):
+            Mdp(discount=0.0)
+
+    def test_q_values_exposed(self):
+        mdp = Mdp(discount=0.9)
+        mdp.add_state("s")
+        mdp.add_state("t")
+        mdp.add_action("s", "a", [Transition(1.0, "t", 5.0)])
+        values, _ = mdp.value_iteration()
+        assert mdp.q_values("s", values) == {"a": pytest.approx(5.0)}
+
+
+class TestRepairMdps:
+    def test_reliable_restart_chosen(self):
+        model = RepairModel(restart_success=0.9)
+        mdp = build_service_repair_mdp(model, can_migrate=True)
+        _, policy = mdp.value_iteration()
+        assert policy["failed"] == "restart"
+
+    def test_hopeless_restart_escalates_to_migrate(self):
+        model = RepairModel(restart_success=0.05)
+        mdp = build_service_repair_mdp(model, can_migrate=True)
+        _, policy = mdp.value_iteration()
+        assert policy["failed"] == "migrate"
+
+    def test_no_migration_available_still_restarts(self):
+        model = RepairModel(restart_success=0.05)
+        mdp = build_service_repair_mdp(model, can_migrate=False)
+        _, policy = mdp.value_iteration()
+        assert policy["failed"] == "restart"   # better than waiting forever
+
+    def test_device_repair_prefers_reboot(self):
+        mdp = build_device_repair_mdp(RepairModel(), can_migrate=False)
+        _, policy = mdp.value_iteration()
+        assert policy["down"] == "reboot"
+
+    def test_invalid_model_raises(self):
+        with pytest.raises(ValueError):
+            RepairModel(restart_success=1.5).validate()
+
+
+def snapshot(device_id, t, failed=(), running=()):
+    return DeviceSnapshot(device_id=device_id, observed_at=t, up=True,
+                          battery_fraction=1.0,
+                          running_services=frozenset(running),
+                          failed_services=frozenset(failed))
+
+
+class TestMdpPlanner:
+    def _issue(self):
+        return Issue(kind="service-failed", subject="d1", detected_at=0.0,
+                     service="svc")
+
+    def test_fresh_failure_gets_restart(self):
+        planner = MdpPlanner()
+        kb = KnowledgeBase(["d1", "d2"])
+        kb.observe(snapshot("d1", 0.0, failed={"svc"}))
+        kb.observe(snapshot("d2", 0.0))
+        plan = planner.plan([self._issue()], kb, 0.0)
+        assert isinstance(plan.actions[0], RestartServiceAction)
+
+    def test_repeated_restart_failures_shift_policy_to_migration(self):
+        """The escalation ladder emerges from belief updates."""
+        planner = MdpPlanner()
+        kb = KnowledgeBase(["d1", "d2"])
+        kb.observe(snapshot("d1", 0.0, failed={"svc"}))
+        kb.observe(snapshot("d2", 0.0))
+        issue = self._issue()
+        action = planner.plan([issue], kb, 0.0).actions[0]
+        for _ in range(8):
+            planner.record_outcome(action, success=False)
+        escalated = planner.plan([issue], kb, 1.0).actions[0]
+        assert isinstance(escalated, MigrateServiceAction)
+        assert escalated.destination == "d2"
+
+    def test_device_down_gets_reboot(self):
+        planner = MdpPlanner()
+        kb = KnowledgeBase(["d1"])
+        issue = Issue(kind="device-down", subject="d1", detected_at=0.0)
+        plan = planner.plan([issue], kb, 0.0)
+        assert isinstance(plan.actions[0], RebootDeviceAction)
+
+    def test_unknown_issue_kind_ignored(self):
+        planner = MdpPlanner()
+        kb = KnowledgeBase(["d1"])
+        issue = Issue(kind="mystery", subject="d1", detected_at=0.0)
+        assert planner.plan([issue], kb, 0.0).empty
+
+
+class TestMining:
+    def _trace_with_outages(self):
+        trace = TraceLog()
+        # Device d1: up 0-10, down 10-15, up 15-40, down 40-50, up 50-100.
+        trace.emit(10.0, "fault", "crash", subject="d1")
+        trace.emit(15.0, "recovery", "device-recover", subject="d1")
+        trace.emit(40.0, "fault", "crash", subject="d1")
+        trace.emit(50.0, "recovery", "device-recover", subject="d1")
+        return trace
+
+    def test_estimate_availability(self):
+        estimate = estimate_availability(self._trace_with_outages(), "d1",
+                                         horizon=100.0)
+        assert estimate.up_time == pytest.approx(85.0)
+        assert estimate.down_time == pytest.approx(15.0)
+        assert estimate.availability == pytest.approx(0.85)
+        assert estimate.failures == 2 and estimate.repairs == 2
+        assert estimate.mean_time_to_failure == pytest.approx((10 + 25) / 2)
+        assert estimate.mean_time_to_repair == pytest.approx((5 + 10) / 2)
+
+    def test_never_failed_device(self):
+        trace = TraceLog()
+        estimate = estimate_availability(trace, "d1", horizon=100.0)
+        assert estimate.availability == 1.0
+        assert estimate.mean_time_to_failure is None
+
+    def test_open_outage_counts_until_horizon(self):
+        trace = TraceLog()
+        trace.emit(90.0, "fault", "crash", subject="d1")
+        estimate = estimate_availability(trace, "d1", horizon=100.0)
+        assert estimate.down_time == pytest.approx(10.0)
+
+    def test_mined_dtmc_matches_observed_availability(self):
+        chain, estimate = mine_availability_dtmc(
+            self._trace_with_outages(), "d1", horizon=100.0, step=1.0)
+        pi = chain.stationary_distribution()
+        # Stationary availability = MTTF / (MTTF + MTTR).
+        expected = estimate.mean_time_to_failure / (
+            estimate.mean_time_to_failure + estimate.mean_time_to_repair)
+        assert pi["up"] == pytest.approx(expected, rel=1e-9)
+
+    def test_mined_dtmc_for_healthy_device_is_always_up(self):
+        chain, _ = mine_availability_dtmc(TraceLog(), "d1", horizon=100.0)
+        pi = chain.stationary_distribution()
+        assert pi["up"] == pytest.approx(1.0)
+
+    def test_action_success_rates(self):
+        trace = TraceLog()
+        trace.emit(1.0, "adaptation", "action-success", subject="d1",
+                   action="restart 'svc' on 'd1'")
+        trace.emit(2.0, "adaptation", "action-failure", subject="d1",
+                   action="restart 'svc' on 'd1'")
+        trace.emit(3.0, "adaptation", "action-success", subject="d1",
+                   action="migrate 'svc' from 'd1' to 'd2'")
+        rates = mine_action_success_rates(trace)
+        assert rates["restart"] == (1, 1, 0.5)
+        assert rates["migrate"] == (1, 0, 1.0)
+
+    def test_mined_rates_feed_repair_model(self):
+        """End to end: mine executor outcomes, build a RepairModel, and
+        check the derived policy reflects the evidence."""
+        trace = TraceLog()
+        for i in range(9):
+            trace.emit(float(i), "adaptation", "action-failure", subject="d1",
+                       action="restart 'svc' on 'd1'")
+        trace.emit(9.0, "adaptation", "action-success", subject="d1",
+                   action="restart 'svc' on 'd1'")
+        rates = mine_action_success_rates(trace)
+        model = RepairModel(restart_success=rates["restart"][2])
+        mdp = build_service_repair_mdp(model, can_migrate=True)
+        _, policy = mdp.value_iteration()
+        assert policy["failed"] == "migrate"   # 10% restarts aren't worth it

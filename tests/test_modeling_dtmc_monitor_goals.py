@@ -1,0 +1,288 @@
+"""Unit tests for DTMCs, runtime monitors and goal models."""
+
+import math
+
+import pytest
+
+from repro.modeling.dtmc import Dtmc, availability_dtmc
+from repro.modeling.goals import Goal, GoalModel, GoalStatus, Obstacle, Refinement
+from repro.modeling.properties import Always, Eventually, LeadsTo, Next, Until, prop
+from repro.modeling.runtime_monitor import (
+    MonitorVerdict,
+    RuntimeMonitor,
+    TraceStateAdapter,
+)
+from repro.simulation.trace import TraceLog
+
+
+class TestDtmc:
+    def test_row_sum_validation(self):
+        chain = Dtmc()
+        chain.add_state("a", initial=True)
+        chain.set_transition("a", "a", 0.5)
+        with pytest.raises(ValueError):
+            chain.validate()
+
+    def test_invalid_probability_raises(self):
+        chain = Dtmc()
+        chain.add_state("a")
+        with pytest.raises(ValueError):
+            chain.set_transition("a", "a", 1.5)
+
+    def test_duplicate_state_raises(self):
+        chain = Dtmc()
+        chain.add_state("a")
+        with pytest.raises(ValueError):
+            chain.add_state("a")
+
+    def test_reachability_simple_chain(self):
+        chain = Dtmc()
+        for s in ("a", "b", "target", "doomed"):
+            chain.add_state(s, initial=(s == "a"))
+        chain.set_transition("a", "b", 0.5)
+        chain.set_transition("a", "doomed", 0.5)
+        chain.set_transition("b", "target", 1.0)
+        chain.set_transition("target", "target", 1.0)
+        chain.set_transition("doomed", "doomed", 1.0)
+        probs = chain.reachability_probability({"target"})
+        assert probs["a"] == pytest.approx(0.5)
+        assert probs["b"] == pytest.approx(1.0)
+        assert probs["doomed"] == 0.0
+        assert probs["target"] == 1.0
+
+    def test_expected_steps_geometric(self):
+        chain, _ = availability_dtmc(0.1, 0.5)
+        steps = chain.expected_steps({"down"})
+        assert steps["up"] == pytest.approx(10.0)
+        assert steps["down"] == 0.0
+
+    def test_expected_steps_infinite_when_unreachable(self):
+        chain = Dtmc()
+        chain.add_state("a", initial=True)
+        chain.add_state("island")
+        chain.set_transition("a", "a", 1.0)
+        chain.set_transition("island", "island", 1.0)
+        steps = chain.expected_steps({"island"})
+        assert math.isinf(steps["a"])
+
+    def test_bounded_reachability_monotone_in_steps(self):
+        chain, _ = availability_dtmc(0.2, 0.5)
+        p1 = chain.bounded_reachability({"down"}, 1)["up"]
+        p5 = chain.bounded_reachability({"down"}, 5)["up"]
+        p50 = chain.bounded_reachability({"down"}, 50)["up"]
+        assert p1 <= p5 <= p50 <= 1.0
+        assert p1 == pytest.approx(0.2)
+
+    def test_bounded_negative_steps_raises(self):
+        chain, _ = availability_dtmc(0.2, 0.5)
+        with pytest.raises(ValueError):
+            chain.bounded_reachability({"down"}, -1)
+
+    def test_stationary_matches_analytic_availability(self):
+        chain, analytic = availability_dtmc(0.05, 0.4)
+        pi = chain.stationary_distribution()
+        assert pi["up"] == pytest.approx(analytic, abs=1e-9)
+        assert pi["up"] + pi["down"] == pytest.approx(1.0)
+
+    def test_availability_dtmc_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            availability_dtmc(0.0, 0.5)
+
+
+class TestRuntimeMonitor:
+    def test_always_violated_on_bad_state(self):
+        monitor = RuntimeMonitor()
+        monitor.watch("inv", Always(prop("ok")))
+        assert monitor.observe({"ok"}, 0.0)["inv"] == MonitorVerdict.UNDETERMINED
+        assert monitor.observe(set(), 1.0)["inv"] == MonitorVerdict.VIOLATED
+        # Violation is latched.
+        assert monitor.observe({"ok"}, 2.0)["inv"] == MonitorVerdict.VIOLATED
+        assert monitor.violation_times["inv"] == [1.0]
+
+    def test_always_satisfied_at_end_of_clean_trace(self):
+        monitor = RuntimeMonitor()
+        monitor.watch("inv", Always(prop("ok")))
+        monitor.observe({"ok"}, 0.0)
+        assert monitor.final_verdicts()["inv"] == MonitorVerdict.SATISFIED
+
+    def test_eventually_satisfied_once(self):
+        monitor = RuntimeMonitor()
+        monitor.watch("goal", Eventually(prop("done")))
+        monitor.observe(set(), 0.0)
+        assert monitor.verdict("goal") == MonitorVerdict.UNDETERMINED
+        monitor.observe({"done"}, 1.0)
+        assert monitor.verdict("goal") == MonitorVerdict.SATISFIED
+
+    def test_eventually_violated_at_end(self):
+        monitor = RuntimeMonitor()
+        monitor.watch("goal", Eventually(prop("done")))
+        monitor.observe(set(), 0.0)
+        assert monitor.final_verdicts()["goal"] == MonitorVerdict.VIOLATED
+
+    def test_next_checks_second_observation(self):
+        monitor = RuntimeMonitor()
+        monitor.watch("nxt", Next(prop("armed")))
+        monitor.observe(set(), 0.0)
+        monitor.observe({"armed"}, 1.0)
+        assert monitor.verdict("nxt") == MonitorVerdict.SATISFIED
+
+    def test_until_satisfied(self):
+        monitor = RuntimeMonitor()
+        monitor.watch("u", Until(prop("holding"), prop("released")))
+        monitor.observe({"holding"}, 0.0)
+        monitor.observe({"holding"}, 1.0)
+        monitor.observe({"released"}, 2.0)
+        assert monitor.verdict("u") == MonitorVerdict.SATISFIED
+
+    def test_until_violated_when_left_breaks_early(self):
+        monitor = RuntimeMonitor()
+        monitor.watch("u", Until(prop("holding"), prop("released")))
+        monitor.observe({"holding"}, 0.0)
+        monitor.observe(set(), 1.0)
+        assert monitor.verdict("u") == MonitorVerdict.VIOLATED
+
+    def test_leadsto_latency_and_final_verdict(self):
+        monitor = RuntimeMonitor()
+        monitor.watch("heal", LeadsTo(prop("fault"), prop("repaired")))
+        monitor.observe({"fault"}, 1.0)
+        monitor.observe(set(), 2.0)
+        monitor.observe({"repaired"}, 4.0)
+        assert monitor.response_latencies("heal") == [3.0]
+        assert monitor.final_verdicts()["heal"] == MonitorVerdict.SATISFIED
+
+    def test_leadsto_pending_trigger_violates_at_end(self):
+        monitor = RuntimeMonitor()
+        monitor.watch("heal", LeadsTo(prop("fault"), prop("repaired")))
+        monitor.observe({"fault"}, 1.0)
+        assert monitor.pending_triggers("heal") == 1
+        assert monitor.final_verdicts()["heal"] == MonitorVerdict.VIOLATED
+
+    def test_duplicate_watch_raises(self):
+        monitor = RuntimeMonitor()
+        monitor.watch("p", Always(prop("x")))
+        with pytest.raises(ValueError):
+            monitor.watch("p", Always(prop("x")))
+
+    def test_state_formula_immediate_verdict(self):
+        monitor = RuntimeMonitor()
+        monitor.watch("now", prop("ready"))
+        monitor.observe({"ready"}, 0.0)
+        assert monitor.verdict("now") == MonitorVerdict.SATISFIED
+
+
+class TestTraceStateAdapter:
+    def test_rules_toggle_propositions(self):
+        monitor = RuntimeMonitor()
+        monitor.watch("inv", Always(~prop("faulty")))
+        adapter = (TraceStateAdapter(monitor)
+                   .rule(category="fault", add={"faulty"})
+                   .rule(category="recovery", remove={"faulty"}))
+        trace = TraceLog()
+        adapter.attach(trace)
+        trace.emit(1.0, "fault", "crash", subject="d1")
+        assert monitor.verdict("inv") == MonitorVerdict.VIOLATED
+        assert adapter.current_labels == {"faulty"}
+        trace.emit(2.0, "recovery", "device-recover", subject="d1")
+        assert adapter.current_labels == set()
+
+    def test_replay_completed_trace(self):
+        trace = TraceLog()
+        trace.emit(1.0, "fault", "crash")
+        trace.emit(5.0, "recovery", "device-recover")
+        monitor = RuntimeMonitor()
+        monitor.watch("heal", LeadsTo(prop("faulty"), prop("healthy")))
+        adapter = (TraceStateAdapter(monitor)
+                   .set_initial({"healthy"})
+                   .rule(category="fault", add={"faulty"}, remove={"healthy"})
+                   .rule(category="recovery", add={"healthy"}, remove={"faulty"}))
+        adapter.replay(trace)
+        assert monitor.final_verdicts()["heal"] == MonitorVerdict.SATISFIED
+        assert monitor.response_latencies("heal") == [4.0]
+
+    def test_unmatched_events_do_not_observe(self):
+        monitor = RuntimeMonitor()
+        monitor.watch("inv", Always(prop("ok")))
+        adapter = TraceStateAdapter(monitor).set_initial({"ok"}) \
+            .rule(category="fault", remove={"ok"})
+        trace = TraceLog()
+        adapter.attach(trace)
+        trace.emit(1.0, "message", "drop")
+        assert monitor.observation_count == 0
+
+
+class TestGoalModel:
+    def _model(self):
+        model = GoalModel("root")
+        model.add_goal(Goal("root"))
+        model.add_goal(Goal("left", assigned_to="edge0"))
+        model.add_goal(Goal("right", assigned_to="edge1"))
+        model.refine("root", ["left", "right"])
+        return model
+
+    def test_and_refinement_propagation(self):
+        model = self._model()
+        assert model.status() == GoalStatus.UNKNOWN
+        model.set_leaf_status("left", GoalStatus.SATISFIED)
+        model.set_leaf_status("right", GoalStatus.SATISFIED)
+        assert model.status() == GoalStatus.SATISFIED
+        model.set_leaf_status("left", GoalStatus.DENIED)
+        assert model.status() == GoalStatus.DENIED
+
+    def test_or_refinement(self):
+        model = GoalModel("root")
+        model.add_goal(Goal("root"))
+        model.add_goal(Goal("a"))
+        model.add_goal(Goal("b"))
+        model.refine("root", ["a", "b"], refinement=Refinement.OR)
+        model.set_leaf_status("a", GoalStatus.DENIED)
+        model.set_leaf_status("b", GoalStatus.SATISFIED)
+        assert model.status() == GoalStatus.SATISFIED
+        model.set_leaf_status("b", GoalStatus.DENIED)
+        assert model.status() == GoalStatus.DENIED
+
+    def test_obstacle_denies_goal(self):
+        model = self._model()
+        model.set_leaf_status("left", GoalStatus.SATISFIED)
+        model.set_leaf_status("right", GoalStatus.SATISFIED)
+        model.add_obstacle(Obstacle("outage", obstructs=["left"]))
+        model.set_obstacle_active("outage", True)
+        assert model.status() == GoalStatus.DENIED
+        model.set_obstacle_active("outage", False)
+        assert model.status() == GoalStatus.SATISFIED
+
+    def test_critical_obstacles(self):
+        model = self._model()
+        model.add_obstacle(Obstacle("kills-left", obstructs=["left"]))
+        model.add_obstacle(Obstacle("harmless", obstructs=[]))
+        critical = [o.name for o in model.critical_obstacles()]
+        assert critical == ["kills-left"]
+
+    def test_critical_obstacles_restores_state(self):
+        model = self._model()
+        model.set_leaf_status("left", GoalStatus.DENIED)
+        model.add_obstacle(Obstacle("o", obstructs=["left"]))
+        model.critical_obstacles()
+        assert model.status("left") == GoalStatus.DENIED
+
+    def test_set_status_on_non_leaf_raises(self):
+        model = self._model()
+        with pytest.raises(ValueError):
+            model.set_leaf_status("root", GoalStatus.SATISFIED)
+
+    def test_assignments(self):
+        model = self._model()
+        assert model.assignments() == {"edge0": ["left"], "edge1": ["right"]}
+
+    def test_unknown_goal_raises(self):
+        model = self._model()
+        with pytest.raises(KeyError):
+            model.status("ghost")
+
+    def test_conflicting_assignments_detected(self):
+        model = GoalModel("root")
+        model.add_goal(Goal("root"))
+        model.add_goal(Goal("fast", assigned_to="dev"))
+        model.add_goal(Goal("cheap", assigned_to="dev"))
+        model.refine("root", ["fast", "cheap"], refinement=Refinement.OR)
+        conflicts = model.conflicting_assignments()
+        assert conflicts == [("dev", "fast", "cheap")]

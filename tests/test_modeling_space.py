@@ -1,0 +1,137 @@
+"""Tests for the spatial environment model."""
+
+import pytest
+
+from repro.modeling.properties import Always, prop
+from repro.modeling.runtime_monitor import MonitorVerdict, RuntimeMonitor
+from repro.modeling.space import (
+    SpatialModel,
+    build_city_space,
+    current_labels,
+)
+
+
+@pytest.fixture
+def city():
+    model = build_city_space(3, 2)
+    # A sensor in each district's first building; a controller in district0.
+    for d in range(3):
+        model.place_entity(f"sensor{d}", f"district{d}/building0")
+    model.place_entity("controller", "district0")
+    return model
+
+
+class TestPlaces:
+    def test_hierarchy(self, city):
+        assert city.contains("city", "district1/building0")
+        assert city.contains("district1", "district1/building0")
+        assert not city.contains("district0", "district1/building0")
+        assert city.ancestors("district2/building1") == ["district2", "city"]
+        assert "district0" in city.children_of("city")
+
+    def test_duplicate_place_raises(self):
+        model = SpatialModel()
+        model.add_place("x")
+        with pytest.raises(ValueError):
+            model.add_place("x")
+
+    def test_unknown_parent_raises(self):
+        model = SpatialModel()
+        with pytest.raises(KeyError):
+            model.add_place("x", parent="ghost")
+
+    def test_connect_unknown_raises(self):
+        model = SpatialModel()
+        model.add_place("a")
+        with pytest.raises(KeyError):
+            model.connect("a", "ghost")
+
+
+class TestEntities:
+    def test_placement_and_lookup(self, city):
+        assert city.location_of("sensor0") == "district0/building0"
+        assert city.location_of("ghost") is None
+
+    def test_entities_at_transitive(self, city):
+        assert city.entities_at("district0") == ["controller", "sensor0"]
+        assert city.entities_at("district0", transitive=False) == ["controller"]
+        assert set(city.entities_at("city")) == {
+            "controller", "sensor0", "sensor1", "sensor2",
+        }
+
+    def test_movement_logged(self, city):
+        city.place_entity("sensor0", "district1/building0", time=5.0)
+        assert city.movement_log == [
+            (5.0, "sensor0", "district0/building0", "district1/building0")
+        ]
+
+    def test_place_entity_unknown_place_raises(self, city):
+        with pytest.raises(KeyError):
+            city.place_entity("x", "nowhere")
+
+
+class TestDistances:
+    def test_hop_distance(self, city):
+        assert city.hop_distance("district0", "district0") == 0
+        assert city.hop_distance("district0", "district1") == 1
+        assert city.hop_distance("district0/building0", "district1/building0") == 3
+
+    def test_disconnected_is_none(self):
+        model = SpatialModel()
+        model.add_place("a")
+        model.add_place("b")
+        assert model.hop_distance("a", "b") is None
+
+    def test_entity_distance(self, city):
+        assert city.entity_distance("controller", "sensor0") == 1
+        assert city.entity_distance("controller", "ghost") is None
+
+    def test_within_hops(self, city):
+        nearby = city.within_hops("district0", 1)
+        assert "district1" in nearby and "district2" in nearby
+        assert "district1/building0" not in nearby
+
+
+class TestCoverage:
+    def test_covered_when_controller_close(self, city):
+        ok, uncovered = city.covered(
+            ["sensor0", "sensor1", "sensor2"], ["controller"], max_hops=2,
+        )
+        assert ok and uncovered == []
+
+    def test_uncovered_when_too_far(self, city):
+        ok, uncovered = city.covered(["sensor1"], ["controller"], max_hops=1)
+        assert not ok and uncovered == ["sensor1"]
+
+    def test_unplaced_target_uncovered(self, city):
+        ok, uncovered = city.covered(["ghost"], ["controller"], max_hops=5)
+        assert not ok and uncovered == ["ghost"]
+
+    def test_coverage_restored_by_moving_guardian(self, city):
+        ok, _ = city.covered(["sensor2"], ["controller"], max_hops=1)
+        assert not ok
+        city.place_entity("controller", "district2", time=1.0)
+        ok, _ = city.covered(["sensor2"], ["controller"], max_hops=1)
+        assert ok
+
+
+class TestMonitorIntegration:
+    def test_spatial_property_monitored_over_movement(self, city):
+        """The spatial requirement 'all sensors covered within 2 hops'
+        monitored as a temporal invariant while entities move."""
+        coverage = city.proposition(
+            "covered",
+            lambda model: model.covered(
+                ["sensor0", "sensor1", "sensor2"], ["controller"], max_hops=2,
+            )[0],
+        )
+        monitor = RuntimeMonitor()
+        monitor.watch("coverage", Always(prop("covered")))
+        monitor.observe(current_labels([coverage]), 0.0)
+        assert monitor.verdict("coverage") == MonitorVerdict.UNDETERMINED
+        # The controller wanders into a building: sensors in other
+        # districts fall out of the 2-hop bound.
+        city.place_entity("controller", "district0/building1", time=1.0)
+        monitor.observe(current_labels([coverage]), 1.0)
+        assert monitor.verdict("coverage") == MonitorVerdict.VIOLATED
+        assert monitor.violation_times["coverage"] == [1.0]

@@ -1,0 +1,223 @@
+"""Property-based tests: CRDT algebraic laws.
+
+State-based CRDTs require merge to be a semilattice join: idempotent,
+commutative and associative, with local updates monotone.  Hypothesis
+drives random operation sequences on independent replicas and checks the
+laws plus eventual convergence under arbitrary merge orders.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data.crdt import GCounter, GSet, LWWMap, LWWRegister, ORSet, PNCounter
+
+
+# --------------------------------------------------------------------------- #
+# Operation-sequence strategies
+# --------------------------------------------------------------------------- #
+counter_ops = st.lists(st.tuples(st.sampled_from(["inc", "dec"]),
+                                 st.integers(0, 10)), max_size=20)
+set_ops = st.lists(st.tuples(st.sampled_from(["add", "remove"]),
+                             st.sampled_from("abcde")), max_size=20)
+register_ops = st.lists(st.tuples(st.floats(0, 100, allow_nan=False),
+                                  st.integers(0, 100)), max_size=20)
+map_ops = st.lists(st.tuples(st.sampled_from(["set", "del"]),
+                             st.sampled_from("xyz"),
+                             st.integers(0, 9),
+                             st.floats(0, 100, allow_nan=False)), max_size=20)
+
+
+def apply_counter(counter, ops):
+    for op, amount in ops:
+        if op == "inc":
+            counter.increment(amount)
+        elif isinstance(counter, PNCounter):
+            counter.decrement(amount)
+        else:
+            counter.increment(amount)
+    return counter
+
+
+def apply_set(s, ops):
+    for op, item in ops:
+        if op == "add":
+            s.add(item)
+        elif isinstance(s, ORSet):
+            s.remove(item)
+        else:
+            s.add(item)
+    return s
+
+
+def apply_register(register, ops):
+    for timestamp, value in ops:
+        register.set(value, timestamp)
+    return register
+
+
+def apply_map(m, ops):
+    for op, key, value, timestamp in ops:
+        if op == "set":
+            m.set(key, value, timestamp)
+        else:
+            m.delete(key, timestamp)
+    return m
+
+
+BUILDERS = [
+    ("gcounter", lambda rid: GCounter(rid), apply_counter, counter_ops),
+    ("pncounter", lambda rid: PNCounter(rid), apply_counter, counter_ops),
+    ("gset", lambda rid: GSet(), apply_set, set_ops),
+    ("orset", lambda rid: ORSet(rid), apply_set, set_ops),
+    ("lww", lambda rid: LWWRegister(rid), apply_register, register_ops),
+    ("lwwmap", lambda rid: LWWMap(rid), apply_map, map_ops),
+]
+
+
+def _laws_case(build, apply, ops_a, ops_b, ops_c):
+    a = apply(build("ra"), ops_a)
+    b = apply(build("rb"), ops_b)
+    c = apply(build("rc"), ops_c)
+
+    # Idempotence: a ⊔ a = a
+    a_self = a.copy()
+    a_self.merge(a.copy())
+    assert a_self == a
+
+    # Commutativity: a ⊔ b = b ⊔ a
+    ab = a.copy()
+    ab.merge(b.copy())
+    ba = b.copy()
+    ba.merge(a.copy())
+    assert ab == ba
+
+    # Associativity: (a ⊔ b) ⊔ c = a ⊔ (b ⊔ c)
+    ab_c = ab.copy()
+    ab_c.merge(c.copy())
+    bc = b.copy()
+    bc.merge(c.copy())
+    a_bc = a.copy()
+    a_bc.merge(bc)
+    assert ab_c == a_bc
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_a=counter_ops, ops_b=counter_ops, ops_c=counter_ops)
+def test_gcounter_semilattice_laws(ops_a, ops_b, ops_c):
+    _laws_case(lambda r: GCounter(r), apply_counter, ops_a, ops_b, ops_c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_a=counter_ops, ops_b=counter_ops, ops_c=counter_ops)
+def test_pncounter_semilattice_laws(ops_a, ops_b, ops_c):
+    _laws_case(lambda r: PNCounter(r), apply_counter, ops_a, ops_b, ops_c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_a=set_ops, ops_b=set_ops, ops_c=set_ops)
+def test_gset_semilattice_laws(ops_a, ops_b, ops_c):
+    _laws_case(lambda r: GSet(), apply_set, ops_a, ops_b, ops_c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_a=set_ops, ops_b=set_ops, ops_c=set_ops)
+def test_orset_semilattice_laws(ops_a, ops_b, ops_c):
+    _laws_case(lambda r: ORSet(r), apply_set, ops_a, ops_b, ops_c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_a=register_ops, ops_b=register_ops, ops_c=register_ops)
+def test_lww_register_semilattice_laws(ops_a, ops_b, ops_c):
+    _laws_case(lambda r: LWWRegister(r), apply_register, ops_a, ops_b, ops_c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_a=map_ops, ops_b=map_ops, ops_c=map_ops)
+def test_lwwmap_semilattice_laws(ops_a, ops_b, ops_c):
+    _laws_case(lambda r: LWWMap(r), apply_map, ops_a, ops_b, ops_c)
+
+
+# --------------------------------------------------------------------------- #
+# Convergence: pairwise merging in any order reaches the same state
+# --------------------------------------------------------------------------- #
+@settings(max_examples=40, deadline=None)
+@given(
+    op_lists=st.lists(counter_ops, min_size=2, max_size=4),
+    order_seed=st.integers(0, 1000),
+)
+def test_counters_converge_regardless_of_merge_order(op_lists, order_seed):
+    import random as random_module
+
+    replicas = [apply_counter(PNCounter(f"r{i}"), ops)
+                for i, ops in enumerate(op_lists)]
+    rng = random_module.Random(order_seed)
+    # Full pairwise anti-entropy in a random order, twice over.
+    pairs = [(i, j) for i in range(len(replicas)) for j in range(len(replicas))
+             if i != j]
+    for _ in range(2):
+        rng.shuffle(pairs)
+        for i, j in pairs:
+            replicas[i].merge(replicas[j])
+    values = {r.value for r in replicas}
+    assert len(values) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(op_lists=st.lists(set_ops, min_size=2, max_size=4))
+def test_orsets_converge_after_full_exchange(op_lists):
+    replicas = [apply_set(ORSet(f"r{i}"), ops) for i, ops in enumerate(op_lists)]
+    # Everyone merges everyone (one full round suffices for state CRDTs).
+    snapshots = [r.copy() for r in replicas]
+    for replica in replicas:
+        for snapshot in snapshots:
+            replica.merge(snapshot)
+    items_views = [r.items for r in replicas]
+    assert all(v == items_views[0] for v in items_views)
+
+
+@settings(max_examples=40, deadline=None)
+@given(op_lists=st.lists(map_ops, min_size=2, max_size=4))
+def test_lwwmaps_converge_after_full_exchange(op_lists):
+    replicas = [apply_map(LWWMap(f"r{i}"), ops) for i, ops in enumerate(op_lists)]
+    snapshots = [r.copy() for r in replicas]
+    for replica in replicas:
+        for snapshot in snapshots:
+            replica.merge(snapshot)
+    key_views = [{k: r.get(k) for k in r.keys()} for r in replicas]
+    assert all(v == key_views[0] for v in key_views)
+
+
+# --------------------------------------------------------------------------- #
+# Type-specific invariants
+# --------------------------------------------------------------------------- #
+@settings(max_examples=60, deadline=None)
+@given(ops=counter_ops)
+def test_gcounter_value_is_sum_of_increments(ops):
+    counter = GCounter("r")
+    total = 0
+    for _op, amount in ops:
+        counter.increment(amount)
+        total += amount
+    assert counter.value == total
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=set_ops)
+def test_gset_never_loses_elements(ops):
+    s = GSet()
+    added = set()
+    for _op, item in ops:
+        s.add(item)
+        added.add(item)
+        assert s.items == added
+
+
+@settings(max_examples=60, deadline=None)
+@given(timestamps=st.lists(st.floats(0, 100, allow_nan=False), min_size=1,
+                           max_size=20))
+def test_lww_register_holds_max_timestamp_value(timestamps):
+    register = LWWRegister("r")
+    for i, timestamp in enumerate(timestamps):
+        register.set(i, timestamp)
+    best_index = max(range(len(timestamps)),
+                     key=lambda i: (timestamps[i], i))
+    assert register.value == best_index

@@ -1,0 +1,175 @@
+"""Property-based tests on infrastructure invariants: kernel ordering,
+metric window algebra, disruption-window merging, the policy lattice, and
+checker/DTMC consistency."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.requirements import _ratio_toward
+from repro.data.item import DataItem, DataSensitivity
+from repro.faults.schedule import merge_windows
+from repro.modeling.checker import ModelChecker
+from repro.modeling.dtmc import availability_dtmc
+from repro.modeling.lts import build_chain_lts
+from repro.modeling.properties import Always, Eventually, prop
+from repro.simulation.kernel import Simulator
+from repro.simulation.metrics import TimeSeries
+
+
+# --------------------------------------------------------------------------- #
+# Kernel: events always fire in non-decreasing time order
+# --------------------------------------------------------------------------- #
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(0, 100, allow_nan=False), min_size=1,
+                       max_size=50))
+def test_kernel_fires_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda s: fired.append(s.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(0.001, 100, allow_nan=False), min_size=1,
+                       max_size=30),
+       cutoff=st.floats(0, 100, allow_nan=False))
+def test_run_until_is_exact_partition(delays, cutoff):
+    """Events split exactly into fired-before and pending-after the cutoff."""
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda s: fired.append(s.now))
+    sim.run(until=cutoff)
+    assert all(t <= cutoff for t in fired)
+    assert len(fired) == sum(1 for d in delays if d <= cutoff)
+
+
+# --------------------------------------------------------------------------- #
+# Level series: time-weighted mean is within [min, max] and additive
+# --------------------------------------------------------------------------- #
+level_changes = st.lists(
+    st.tuples(st.floats(0, 99, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+    min_size=1, max_size=20,
+).map(lambda xs: sorted(xs, key=lambda p: p[0]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(changes=level_changes)
+def test_time_weighted_mean_bounded_by_extremes(changes):
+    series = TimeSeries("lvl", kind="level")
+    last_time = -1.0
+    for time, value in changes:
+        if time <= last_time:
+            time = last_time + 1e-6
+        series.append(time, value)
+        last_time = time
+    mean = series.time_weighted_mean(0.0, 100.0)
+    if mean is not None:
+        values = [v for _, v in series]
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(changes=level_changes, split=st.floats(1, 99, allow_nan=False))
+def test_time_weighted_mean_is_additive_over_subwindows(changes, split):
+    """mean([a,c)) equals the duration-weighted mix of mean([a,b)), mean([b,c))."""
+    series = TimeSeries("lvl", kind="level")
+    series.append(0.0, 0.5)   # anchor so the signal is defined everywhere
+    last_time = 0.0
+    for time, value in changes:
+        if time <= last_time:
+            time = last_time + 1e-6
+        series.append(time, value)
+        last_time = time
+    total = series.time_weighted_mean(0.0, 100.0)
+    left = series.time_weighted_mean(0.0, split)
+    right = series.time_weighted_mean(split, 100.0)
+    mixed = (left * split + right * (100.0 - split)) / 100.0
+    assert math.isclose(total, mixed, rel_tol=1e-6, abs_tol=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# merge_windows: output is disjoint, sorted, and covers the same points
+# --------------------------------------------------------------------------- #
+windows_strategy = st.lists(
+    st.tuples(st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False))
+    .map(lambda p: (min(p), max(p))),
+    max_size=15,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(windows=windows_strategy)
+def test_merge_windows_disjoint_and_sorted(windows):
+    merged = merge_windows(windows)
+    for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+        assert e1 < s2
+    assert merged == sorted(merged)
+    assert all(s < e for s, e in merged)
+
+
+@settings(max_examples=80, deadline=None)
+@given(windows=windows_strategy, point=st.floats(0, 100, allow_nan=False))
+def test_merge_windows_preserves_membership(windows, point):
+    inside_before = any(s <= point < e for s, e in windows if e > s)
+    merged = merge_windows(windows)
+    inside_after = any(s <= point < e for s, e in merged)
+    assert inside_before == inside_after
+
+
+# --------------------------------------------------------------------------- #
+# Requirements helper: graded ratio stays in [0, 1]
+# --------------------------------------------------------------------------- #
+@settings(max_examples=80, deadline=None)
+@given(achieved=st.floats(-10, 10, allow_nan=False),
+       target=st.floats(0, 10, allow_nan=False))
+def test_ratio_toward_bounded(achieved, target):
+    value = _ratio_toward(achieved, target)
+    assert 0.0 <= value <= 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Anonymization: always PUBLIC and subject-free regardless of input
+# --------------------------------------------------------------------------- #
+@settings(max_examples=60, deadline=None)
+@given(
+    sensitivity=st.sampled_from(list(DataSensitivity)),
+    subject=st.one_of(st.none(), st.text(min_size=1, max_size=8)),
+)
+def test_anonymize_always_yields_public_subjectless(sensitivity, subject):
+    item = DataItem("k", 1, "dev", "dom", 0.0, sensitivity, subject=subject)
+    anonymous = item.anonymize("edge", 1.0)
+    assert anonymous.sensitivity == DataSensitivity.PUBLIC
+    assert anonymous.subject is None
+    assert anonymous.parent_ids == (item.item_id,)
+
+
+# --------------------------------------------------------------------------- #
+# Checker vs brute force on chains; DTMC vs analytic availability
+# --------------------------------------------------------------------------- #
+@settings(max_examples=30, deadline=None)
+@given(length=st.integers(1, 50))
+def test_chain_reachability_explores_whole_chain(length):
+    checker = ModelChecker(build_chain_lts(length))
+    result = checker.check(Eventually(prop("end")))
+    assert result.holds == (length > 1) or length == 1 and not result.holds
+    missing = checker.check(Eventually(prop("missing")))
+    assert not missing.holds
+    assert missing.states_explored == length
+
+
+@settings(max_examples=40, deadline=None)
+@given(failure=st.floats(0.01, 0.99, allow_nan=False),
+       repair=st.floats(0.01, 0.99, allow_nan=False))
+def test_dtmc_stationary_matches_analytic(failure, repair):
+    chain, analytic = availability_dtmc(failure, repair)
+    pi = chain.stationary_distribution()
+    assert math.isclose(pi["up"], analytic, rel_tol=1e-9)
+    reach = chain.reachability_probability({"down"})
+    assert math.isclose(reach["up"], 1.0, abs_tol=1e-9)
+    steps = chain.expected_steps({"down"})
+    assert math.isclose(steps["up"], 1.0 / failure, rel_tol=1e-6)

@@ -1,0 +1,148 @@
+"""Unit tests for time-series metrics."""
+
+import pytest
+
+from repro.simulation.metrics import MetricsRecorder, TimeSeries
+
+
+class TestTimeSeriesSamples:
+    def test_append_and_len(self):
+        series = TimeSeries("s")
+        series.append(1.0, 10.0)
+        series.append(2.0, 20.0)
+        assert len(series) == 2
+        assert list(series) == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_out_of_order_append_raises(self):
+        series = TimeSeries("s")
+        series.append(2.0, 1.0)
+        with pytest.raises(ValueError):
+            series.append(1.0, 1.0)
+
+    def test_equal_time_append_allowed(self):
+        series = TimeSeries("s")
+        series.append(1.0, 1.0)
+        series.append(1.0, 2.0)
+        assert len(series) == 2
+
+    def test_window_is_half_open(self):
+        series = TimeSeries("s")
+        for t in range(5):
+            series.append(float(t), float(t))
+        assert series.window(1.0, 3.0) == [(1.0, 1.0), (2.0, 2.0)]
+
+    def test_mean_over_window(self):
+        series = TimeSeries("s")
+        for t, v in [(0.0, 2.0), (1.0, 4.0), (2.0, 12.0)]:
+            series.append(t, v)
+        assert series.mean(0.0, 2.0) == 3.0
+        assert series.mean() == 6.0
+
+    def test_mean_empty_window_is_none(self):
+        series = TimeSeries("s")
+        assert series.mean() is None
+
+    def test_percentile_nearest_rank(self):
+        series = TimeSeries("s")
+        for t in range(100):
+            series.append(float(t), float(t))
+        assert series.percentile(50) == 49.0
+        assert series.percentile(95) == 94.0
+        assert series.percentile(100) == 99.0
+        assert series.percentile(0) == 0.0
+
+    def test_percentile_out_of_range_raises(self):
+        series = TimeSeries("s")
+        series.append(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.percentile(101)
+
+    def test_maximum(self):
+        series = TimeSeries("s")
+        for t, v in [(0.0, 3.0), (1.0, 7.0), (2.0, 5.0)]:
+            series.append(t, v)
+        assert series.maximum() == 7.0
+
+
+class TestTimeSeriesLevels:
+    def test_value_at(self):
+        series = TimeSeries("lvl", kind="level")
+        series.append(0.0, 1.0)
+        series.append(10.0, 0.0)
+        assert series.value_at(5.0) == 1.0
+        assert series.value_at(10.0) == 0.0
+        assert series.value_at(-1.0) is None
+
+    def test_time_weighted_mean_simple(self):
+        series = TimeSeries("lvl", kind="level")
+        series.append(0.0, 1.0)
+        series.append(5.0, 0.0)   # down for the second half
+        assert series.time_weighted_mean(0.0, 10.0) == pytest.approx(0.5)
+
+    def test_time_weighted_mean_partial_window(self):
+        series = TimeSeries("lvl", kind="level")
+        series.append(0.0, 1.0)
+        series.append(8.0, 0.0)
+        assert series.time_weighted_mean(6.0, 10.0) == pytest.approx(0.5)
+
+    def test_time_weighted_mean_before_first_observation(self):
+        series = TimeSeries("lvl", kind="level")
+        series.append(10.0, 1.0)
+        assert series.time_weighted_mean(0.0, 5.0) is None
+
+    def test_time_weighted_mean_window_starting_before_signal(self):
+        series = TimeSeries("lvl", kind="level")
+        series.append(5.0, 1.0)
+        # Signal only defined from t=5; mean over [0, 10) uses [5, 10).
+        assert series.time_weighted_mean(0.0, 10.0) == pytest.approx(1.0)
+
+    def test_time_weighted_mean_on_sample_series_raises(self):
+        series = TimeSeries("s")
+        series.append(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.time_weighted_mean(0.0, 1.0)
+
+    def test_empty_window_returns_none(self):
+        series = TimeSeries("lvl", kind="level")
+        series.append(0.0, 1.0)
+        assert series.time_weighted_mean(5.0, 5.0) is None
+
+
+class TestMetricsRecorder:
+    def test_record_and_series(self, metrics):
+        metrics.record("m", 1.0, 5.0)
+        metrics.record("m", 2.0, 7.0)
+        assert metrics.series("m").mean() == 6.0
+
+    def test_kind_mismatch_on_explicit_reuse(self, metrics):
+        metrics.set_level("up", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            metrics.series("up", kind="sample")
+
+    def test_kind_agnostic_access(self, metrics):
+        metrics.set_level("up", 0.0, 1.0)
+        assert metrics.series("up").kind == "level"
+
+    def test_counters(self, metrics):
+        metrics.increment("events")
+        metrics.increment("events", 2.0)
+        assert metrics.counter("events") == 3.0
+        assert metrics.counter("missing") == 0.0
+        assert metrics.counter_names == ["events"]
+
+    def test_summary(self, metrics):
+        for t in range(10):
+            metrics.record("lat", float(t), float(t))
+        summary = metrics.summary()
+        assert summary["lat"]["count"] == 10
+        assert summary["lat"]["mean"] == 4.5
+        assert summary["lat"]["max"] == 9.0
+
+    def test_unknown_series_kind_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x", kind="bogus")
+
+    def test_has_series(self, metrics):
+        assert not metrics.has_series("x")
+        metrics.record("x", 0.0, 0.0)
+        assert metrics.has_series("x")

@@ -1,0 +1,233 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.simulation.kernel import SimulationError, Simulator
+from repro.simulation.process import (
+    AllOf,
+    AnyOf,
+    Interrupted,
+    Process,
+    Timeout,
+    Waiter,
+    spawn,
+)
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, sim):
+        times = []
+
+        def proc():
+            times.append(sim.now)
+            yield Timeout(2.5)
+            times.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert times == [0.0, 2.5]
+
+    def test_timeout_value_passed_through(self, sim):
+        got = []
+
+        def proc():
+            value = yield Timeout(1.0, value="hello")
+            got.append(value)
+
+        spawn(sim, proc())
+        sim.run()
+        assert got == ["hello"]
+
+    def test_negative_timeout_raises(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        def proc():
+            yield Timeout(1.0)
+            yield Timeout(2.0)
+            yield Timeout(3.0)
+
+        process = spawn(sim, proc())
+        sim.run()
+        assert sim.now == 6.0
+        assert process.finished
+
+
+class TestWaiter:
+    def test_waiter_resumes_with_value(self, sim):
+        waiter = Waiter()
+        got = []
+
+        def consumer():
+            value = yield waiter
+            got.append(value)
+
+        def producer():
+            yield Timeout(3.0)
+            waiter.succeed("data")
+
+        spawn(sim, consumer())
+        spawn(sim, producer())
+        sim.run()
+        assert got == ["data"]
+
+    def test_waiter_triggered_before_yield_still_resumes(self, sim):
+        waiter = Waiter()
+        waiter.succeed(7)
+        got = []
+
+        def consumer():
+            got.append((yield waiter))
+
+        spawn(sim, consumer())
+        sim.run()
+        assert got == [7]
+
+    def test_double_succeed_raises(self):
+        waiter = Waiter()
+        waiter.succeed()
+        with pytest.raises(SimulationError):
+            waiter.succeed()
+
+    def test_multiple_waiters_on_one_condition(self, sim):
+        waiter = Waiter()
+        got = []
+
+        def consumer(tag):
+            value = yield waiter
+            got.append((tag, value))
+
+        spawn(sim, consumer("a"))
+        spawn(sim, consumer("b"))
+        spawn(sim, (x for x in []))  # empty process is fine
+        sim.schedule(1.0, lambda s: waiter.succeed("v"))
+        sim.run()
+        assert sorted(got) == [("a", "v"), ("b", "v")]
+
+
+class TestComposites:
+    def test_allof_waits_for_every_condition(self, sim):
+        got = []
+
+        def proc():
+            values = yield AllOf([Timeout(1.0, value="a"), Timeout(3.0, value="b")])
+            got.append((sim.now, values))
+
+        spawn(sim, proc())
+        sim.run()
+        assert got == [(3.0, ["a", "b"])]
+
+    def test_allof_empty_resumes_immediately(self, sim):
+        got = []
+
+        def proc():
+            values = yield AllOf([])
+            got.append(values)
+
+        spawn(sim, proc())
+        sim.run()
+        assert got == [[]]
+
+    def test_anyof_resumes_on_first(self, sim):
+        got = []
+
+        def proc():
+            index, value = yield AnyOf([Timeout(5.0, value="slow"), Timeout(1.0, value="fast")])
+            got.append((sim.now, index, value))
+
+        spawn(sim, proc())
+        sim.run()
+        assert got == [(1.0, 1, "fast")]
+
+    def test_anyof_empty_raises(self, sim):
+        def proc():
+            yield AnyOf([])
+
+        process = spawn(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestJoinAndResult:
+    def test_join_returns_process_result(self, sim):
+        def worker():
+            yield Timeout(2.0)
+            return 42
+
+        def joiner(worker_process):
+            result = yield worker_process
+            return result * 2
+
+        worker_process = spawn(sim, worker())
+        joiner_process = spawn(sim, joiner(worker_process))
+        sim.run()
+        assert joiner_process.result == 84
+
+    def test_join_finished_process_resumes_immediately(self, sim):
+        def worker():
+            yield Timeout(1.0)
+            return "done"
+
+        worker_process = spawn(sim, worker())
+        sim.run()
+
+        got = []
+
+        def joiner():
+            got.append((yield worker_process))
+
+        spawn(sim, joiner())
+        sim.run()
+        assert got == ["done"]
+
+    def test_result_before_finish_raises(self, sim):
+        def worker():
+            yield Timeout(1.0)
+
+        process = spawn(sim, worker())
+        with pytest.raises(SimulationError):
+            _ = process.result
+
+    def test_yield_non_condition_raises(self, sim):
+        def bad():
+            yield 42
+
+        spawn(sim, bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestInterrupt:
+    def test_interrupt_raises_inside_process(self, sim):
+        events = []
+
+        def worker():
+            try:
+                yield Timeout(100.0)
+            except Interrupted as err:
+                events.append(str(err))
+
+        process = spawn(sim, worker())
+        sim.schedule(1.0, lambda s: process.interrupt("stop now"))
+        sim.run()
+        assert events == ["stop now"]
+        assert process.finished
+
+    def test_stale_timeout_after_interrupt_is_dropped(self, sim):
+        resumed = []
+
+        def worker():
+            try:
+                yield Timeout(5.0)
+                resumed.append("timeout")
+            except Interrupted:
+                yield Timeout(10.0)
+                resumed.append("post-interrupt")
+
+        process = spawn(sim, worker())
+        sim.schedule(1.0, lambda s: process.interrupt())
+        sim.run()
+        # The original 5.0 timeout must NOT resume the process a second time.
+        assert resumed == ["post-interrupt"]
+        assert sim.now == 11.0

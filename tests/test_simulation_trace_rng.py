@@ -1,0 +1,97 @@
+"""Unit tests for the trace log and RNG registry."""
+
+import pytest
+
+from repro.simulation.rng import RngRegistry
+from repro.simulation.trace import TraceEvent, TraceLog
+
+
+class TestTraceLog:
+    def test_emit_and_select(self, trace):
+        trace.emit(1.0, "fault", "crash", subject="d1")
+        trace.emit(2.0, "recovery", "device-recover", subject="d1")
+        trace.emit(3.0, "fault", "crash", subject="d2")
+        assert trace.count(category="fault") == 2
+        assert [e.subject for e in trace.select(category="fault", name="crash")] == ["d1", "d2"]
+
+    def test_select_time_window_is_half_open(self, trace):
+        for t in range(5):
+            trace.emit(float(t), "c", "n")
+        assert len(trace.select(start=1.0, end=3.0)) == 2
+
+    def test_time_going_backwards_raises(self, trace):
+        trace.emit(5.0, "c", "n")
+        with pytest.raises(ValueError):
+            trace.emit(4.0, "c", "n")
+
+    def test_first_and_last(self, trace):
+        trace.emit(1.0, "c", "a")
+        trace.emit(2.0, "c", "b")
+        trace.emit(3.0, "c", "a")
+        assert trace.first(name="a").time == 1.0
+        assert trace.last(name="a").time == 3.0
+        assert trace.first(name="missing") is None
+
+    def test_subscribers_receive_live_events(self, trace):
+        got = []
+        unsubscribe = trace.subscribe(got.append)
+        trace.emit(1.0, "c", "x")
+        unsubscribe()
+        trace.emit(2.0, "c", "y")
+        assert [e.name for e in got] == ["x"]
+
+    def test_intervals_pairing(self, trace):
+        trace.emit(1.0, "fault", "partition-start", subject="p")
+        trace.emit(5.0, "recovery", "partition-heal", subject="p")
+        trace.emit(8.0, "fault", "partition-start", subject="p")
+        intervals = trace.intervals("partition-start", "partition-heal",
+                                    subject="p", horizon=10.0)
+        assert intervals == [(1.0, 5.0), (8.0, 10.0)]
+
+    def test_attrs_carried(self, trace):
+        event = trace.emit(1.0, "c", "n", subject="s", extra=42)
+        assert event.attrs["extra"] == 42
+
+    def test_matches_filters(self):
+        event = TraceEvent(1.0, "cat", "name", "subj")
+        assert event.matches(category="cat")
+        assert not event.matches(category="other")
+        assert event.matches(name="name", subject="subj")
+        assert not event.matches(subject="other")
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self, rngs):
+        assert rngs.stream("a") is rngs.stream("a")
+
+    def test_different_names_independent(self):
+        registry = RngRegistry(seed=1)
+        a_draws = [registry.stream("a").random() for _ in range(5)]
+        registry2 = RngRegistry(seed=1)
+        # Drawing from "b" first must not perturb "a".
+        registry2.stream("b").random()
+        a_draws2 = [registry2.stream("a").random() for _ in range(5)]
+        assert a_draws == a_draws2
+
+    def test_deterministic_across_instances(self):
+        first = RngRegistry(seed=99).stream("x").random()
+        second = RngRegistry(seed=99).stream("x").random()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert RngRegistry(seed=1).stream("x").random() != RngRegistry(seed=2).stream("x").random()
+
+    def test_fork_is_independent_of_parent(self):
+        parent = RngRegistry(seed=5)
+        child = parent.fork("child")
+        assert child.stream("x").random() != parent.stream("x").random()
+
+    def test_fork_deterministic(self):
+        a = RngRegistry(seed=5).fork("c").stream("x").random()
+        b = RngRegistry(seed=5).fork("c").stream("x").random()
+        assert a == b
+
+    def test_stream_names_tracked(self, rngs):
+        rngs.stream("zeta")
+        rngs.stream("alpha")
+        assert rngs.stream_names == ["alpha", "zeta"]

@@ -1,0 +1,135 @@
+"""Tests for the domain workloads."""
+
+import pytest
+
+from repro.data.item import DataItem, DataSensitivity
+from repro.faults.models import CrashRecoveryFault, PartitionFault
+from repro.workloads import (
+    EnergyGridWorkload,
+    HealthcareWorkload,
+    MobilityWorkload,
+    SmartCityWorkload,
+)
+
+
+class TestSmartCity:
+    def test_readings_flow_and_commands_issue(self):
+        workload = SmartCityWorkload(n_districts=2, sensors_per_district=3, seed=7)
+        stats = workload.run(30.0)
+        assert stats.readings_processed > 100
+        assert stats.commands_issued > 0
+        assert set(stats.per_district_readings) == {0, 1}
+
+    def test_edge_latency_is_local(self):
+        workload = SmartCityWorkload(n_districts=2, sensors_per_district=2, seed=7)
+        workload.run(20.0)
+        mean_latency = workload.system.metrics.series("city.latency").mean()
+        assert mean_latency < 0.05   # edge path, not a WAN round trip
+
+    def test_analytics_failure_stops_processing(self):
+        workload = SmartCityWorkload(n_districts=1, sensors_per_district=2, seed=7)
+        workload.system.injector.inject_at(
+            5.0, CrashRecoveryFault(name="edge-crash", duration=100.0,
+                                    device_id="edge0"))
+        workload.run(20.0)
+        processed_by_10 = len(
+            workload.system.metrics.series("city.ingest").window(0.0, 5.0))
+        processed_after = len(
+            workload.system.metrics.series("city.ingest").window(6.0, 20.0))
+        assert processed_by_10 > 0
+        assert processed_after == 0
+
+    def test_deterministic(self):
+        a = SmartCityWorkload(n_districts=2, sensors_per_district=2, seed=9).run(15.0)
+        b = SmartCityWorkload(n_districts=2, sensors_per_district=2, seed=9).run(15.0)
+        assert a.readings_processed == b.readings_processed
+        assert a.commands_issued == b.commands_issued
+
+
+class TestHealthcare:
+    def test_vitals_reach_hospital_and_lab_anonymized(self):
+        workload = HealthcareWorkload(n_patients=3, seed=13)
+        stats = workload.run(30.0)
+        assert stats.vitals_produced > 0
+        assert stats.vitals_shared_hospital == stats.vitals_produced
+        assert stats.anonymized_shared_lab == stats.vitals_produced
+        assert stats.flows_denied == 0
+
+    def test_raw_export_to_lab_denied(self):
+        workload = HealthcareWorkload(n_patients=1, seed=13)
+        raw = DataItem("hr:0", 99, "wearable0", "patients", 0.0,
+                       DataSensitivity.PERSONAL, subject="patient0")
+        assert not workload.try_raw_export_to_lab(raw)
+        assert workload.stats.flows_denied == 1
+
+    def test_lineage_audit_shows_only_anonymized_exposure(self):
+        workload = HealthcareWorkload(n_patients=1, seed=13)
+        workload.run(10.0)
+        # The subject's data (incl. derivations) reached hospital and lab;
+        # but every item that reached the lab is PUBLIC (anonymized).
+        lab_arrivals = [
+            workload.lineage.item(e.item_id)
+            for e in workload.lineage.events
+            if e.action == "moved" and e.location == "lab-server"
+        ]
+        assert lab_arrivals
+        assert all(i.sensitivity == DataSensitivity.PUBLIC for i in lab_arrivals)
+        assert all(i.subject is None for i in lab_arrivals)
+
+    def test_untrusted_environment_blocks_hospital_flow(self):
+        workload = HealthcareWorkload(n_patients=1, seed=13)
+        workload.system.fleet.get("hospital-server").environment_trusted = False
+        workload.run(10.0)
+        assert workload.stats.flows_denied > 0
+        assert workload.stats.vitals_shared_hospital == 0
+
+
+class TestEnergy:
+    def test_feeders_stay_balanced(self):
+        workload = EnergyGridWorkload(n_feeders=2, meters_per_feeder=4, seed=23)
+        stats = workload.run(40.0)
+        assert stats.meter_reports > 0
+        assert stats.balanced_fraction > 0.9
+
+    def test_balancing_is_local_survives_cloud_outage(self):
+        workload = EnergyGridWorkload(n_feeders=2, meters_per_feeder=4, seed=23)
+        workload.system.partitions.schedule_outage(5.0, 30.0, "cloud")
+        stats = workload.run(40.0)
+        # Feeder control lives on the edge: the outage is irrelevant.
+        assert stats.balanced_fraction > 0.9
+
+    def test_balancer_failure_hurts_balance(self):
+        hit = EnergyGridWorkload(n_feeders=1, meters_per_feeder=5, seed=23,
+                                 feeder_capacity=80.0)
+        hit.system.injector.inject_at(
+            2.0, CrashRecoveryFault(name="c", duration=60.0, device_id="edge0"))
+        stats_hit = hit.run(60.0)
+        clean = EnergyGridWorkload(n_feeders=1, meters_per_feeder=5, seed=23,
+                                   feeder_capacity=80.0)
+        stats_clean = clean.run(60.0)
+        assert stats_hit.balanced_fraction <= stats_clean.balanced_fraction
+
+
+class TestMobility:
+    def test_telemetry_continuity_across_handover(self):
+        workload = MobilityWorkload(n_vehicles=3, n_sites=3, seed=31,
+                                    handover_period=8.0)
+        stats = workload.run(40.0)
+        assert stats.handovers > 0
+        # Continuity: nearly all telemetry keeps arriving despite roaming.
+        assert stats.telemetry_received >= 0.9 * stats.telemetry_sent
+
+    def test_border_crossing_sanitizes_data(self):
+        workload = MobilityWorkload(n_vehicles=2, n_sites=2, seed=31,
+                                    handover_period=5.0)
+        stats = workload.run(30.0)
+        assert stats.border_crossings > 0
+        assert stats.items_sanitized > 0
+        # Governance trace recorded each transfer completion.
+        assert workload.system.trace.count(
+            category="governance", name="domain-transfer-complete"
+        ) == stats.border_crossings
+
+    def test_requires_two_sites(self):
+        with pytest.raises(ValueError):
+            MobilityWorkload(n_sites=1)
