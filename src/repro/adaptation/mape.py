@@ -86,10 +86,25 @@ class MapeLoop:
             return
         if self.network.node_up(self.host):
             self.iterations += 1
-            self._monitor(sim.now)
-            issues = self._analyze(sim.now)
-            plan = self._plan(issues, sim.now)
-            self._execute(plan)
+            spans = self.network.spans
+            if spans is not None:
+                # One span per loop iteration; everything the iteration
+                # does (probes, actions, repair spans) nests under it.
+                span = spans.start(
+                    f"mape:{self.host}", "adaptation", sim.now,
+                    host=self.host, iteration=self.iterations,
+                )
+                with spans.use(span):
+                    self._monitor(sim.now)
+                    issues = self._analyze(sim.now)
+                    plan = self._plan(issues, sim.now)
+                    self._execute(plan)
+                spans.finish(span, sim.now)
+            else:
+                self._monitor(sim.now)
+                issues = self._analyze(sim.now)
+                plan = self._plan(issues, sim.now)
+                self._execute(plan)
         sim.schedule(self.period, self._iterate, label=f"mape:{self.host}")
 
     # -- M ---------------------------------------------------------------------- #
@@ -156,6 +171,17 @@ class MapeLoop:
                 self.repairs.append(self.sim.now)
                 if self.metrics is not None:
                     self.metrics.increment(f"mape.repairs:{self.host}")
+                spans = self.network.spans
+                if spans is not None:
+                    # Join the originating disruption's trace when the
+                    # injector still tracks an active fault on this
+                    # subject; otherwise stay under the iteration span.
+                    fault_span = spans.active_fault(result.action.target)
+                    spans.record(
+                        f"repair:{result.action.target}", "recovery",
+                        self.sim.now, parent=fault_span,
+                        host=self.host, action=result.action.describe(),
+                    )
                 if self.trace is not None:
                     self.trace.emit(
                         self.sim.now, "recovery", "mape-repair",

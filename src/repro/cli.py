@@ -2,7 +2,8 @@
 
 ``python -m repro <command>`` runs a quick (or full) version of each
 experiment and prints its tables -- the zero-setup path for a reviewer to
-see the paper's shapes without touching pytest.
+see the paper's shapes without touching pytest.  ``--json`` emits the same
+tables as machine-readable JSON on stdout.
 
 Commands
 --------
@@ -12,16 +13,28 @@ verify      Fig. 2: model checking and quantitative verification demos.
 control     Fig. 3: centralized vs decentralized control availability.
 dataflows   Fig. 4: privacy / freshness / availability of replication.
 mape        Fig. 5: MAPE placement vs time-to-repair.
-all         Everything above, in order.
+trace       Run an observed scenario; export spans, Chrome trace, profile.
+all         Every table command above, in order.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable, Dict, List
+import json
+import os
+from typing import Callable, Dict, List, Optional
+
+# When --json is active, tables accumulate here instead of printing.
+_JSON_COLLECTOR: Optional[List[Dict[str, object]]] = None
 
 
 def _print_table(title: str, headers: List[str], rows: List[List[object]]) -> None:
+    if _JSON_COLLECTOR is not None:
+        _JSON_COLLECTOR.append(
+            {"title": title, "headers": list(headers),
+             "rows": [list(row) for row in rows]})
+        return
+
     def fmt(cell: object) -> str:
         return f"{cell:.4f}" if isinstance(cell, float) else str(cell)
 
@@ -34,6 +47,20 @@ def _print_table(title: str, headers: List[str], rows: List[List[object]]) -> No
     print("-" * (sum(widths) + 2 * (len(widths) - 1)))
     for row in rows:
         print("  ".join(fmt(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def _print_block(title: str, text: str) -> None:
+    """Pre-formatted text output (e.g. the maturity comparison table)."""
+    if _JSON_COLLECTOR is not None:
+        _JSON_COLLECTOR.append({"title": title, "text": text})
+        return
+    print(text)
+
+
+def _progress(message: str) -> None:
+    """Human-facing progress line; silent under --json."""
+    if _JSON_COLLECTOR is None:
+        print(message)
 
 
 # --------------------------------------------------------------------------- #
@@ -49,11 +76,12 @@ def cmd_maturity(quick: bool) -> None:
         horizon=60.0 if quick else 120.0,
         seed=42,
     )
-    print(f"running ML1..ML4 ({params.n_sites} sites, "
-          f"{params.horizon:.0f}s horizon)...")
+    _progress(f"running ML1..ML4 ({params.n_sites} sites, "
+              f"{params.horizon:.0f}s horizon)...")
     reports = run_maturity_comparison(params)
-    print("\nTables 1-2 (measured): satisfaction under disruption\n")
-    print(comparison_table(list(reports.values())))
+    _progress("\nTables 1-2 (measured): satisfaction under disruption\n")
+    _print_block("Tables 1-2: satisfaction under disruption",
+                 comparison_table(list(reports.values())))
 
 
 def cmd_landscape(quick: bool) -> None:
@@ -190,6 +218,119 @@ def cmd_mape(quick: bool) -> None:
                  ["placement", "fastest (s)", "slowest (s)", "missed obs"], rows)
 
 
+# --------------------------------------------------------------------------- #
+# trace: observed scenario runs with exportable artifacts
+# --------------------------------------------------------------------------- #
+TRACE_SCENARIOS = ("smart-city-partition", "mape-outage")
+
+
+def _run_smart_city_partition(quick: bool):
+    """The canonical observed run: a smart city losing its cloud.
+
+    Per-district MAPE loops keep managing through the outage; a service
+    failure injected mid-run is repaired by the local loop, and the whole
+    disruption→recovery arc is captured as one span trace.
+    """
+    from repro.adaptation import (
+        DeviceLivenessAnalyzer,
+        Executor,
+        MapeLoop,
+        RuleBasedPlanner,
+        ServiceHealthAnalyzer,
+    )
+    from repro.faults.models import PartitionFault, ServiceFailureFault
+    from repro.workloads.smart_city import SmartCityWorkload
+
+    districts = 2 if quick else 3
+    workload = SmartCityWorkload(n_districts=districts,
+                                 sensors_per_district=3 if quick else 4,
+                                 seed=7)
+    system = workload.system
+    system.enable_observability()
+    for district in range(districts):
+        edge = f"edge{district}"
+        scope = [edge] + list(system.sites[edge])
+        MapeLoop(
+            system.sim, system.network, system.fleet, edge, scope,
+            analyzers=[ServiceHealthAnalyzer(), DeviceLivenessAnalyzer()],
+            planner=RuleBasedPlanner(),
+            executor=Executor(system.sim, system.network, system.fleet, edge,
+                              system.rngs.stream(f"exec:{edge}"),
+                              trace=system.trace),
+            period=1.0, metrics=system.metrics, trace=system.trace,
+        ).start()
+    system.injector.inject_at(10.0, ServiceFailureFault(
+        name="svcfail:analytics0", device_id="edge0",
+        service_name="traffic-analytics0"))
+    system.injector.inject_at(20.0, PartitionFault(
+        name="cloud-outage", duration=20.0, isolate_node="cloud"))
+    workload.run(60.0)
+    return system
+
+
+def _run_mape_outage(quick: bool):
+    """Fig. 5's edge placement, observed end-to-end."""
+    from repro.experiments import run_mape_placement
+
+    system, _ = run_mape_placement("edge", observe=True)
+    return system
+
+
+def cmd_trace(quick: bool, scenario: str = "smart-city-partition",
+              out: str = "trace-out") -> None:
+    from repro.observability.export import (
+        write_chrome_trace,
+        write_events_jsonl,
+        write_metrics_snapshot,
+        write_profile,
+        write_spans_jsonl,
+    )
+
+    runners = {
+        "smart-city-partition": _run_smart_city_partition,
+        "mape-outage": _run_mape_outage,
+    }
+    _progress(f"running observed scenario {scenario!r}...")
+    system = runners[scenario](quick)
+    spans = system.spans
+    spans.finish_open(system.sim.now)
+    if system.trace.dropped:
+        system.metrics.increment("trace.dropped_events", system.trace.dropped)
+
+    os.makedirs(out, exist_ok=True)
+    span_path = os.path.join(out, "spans.jsonl")
+    event_path = os.path.join(out, "events.jsonl")
+    chrome_path = os.path.join(out, "trace.chrome.json")
+    metrics_path = os.path.join(out, "metrics.json")
+    profile_path = os.path.join(out, "profile.json")
+    n_spans = write_spans_jsonl(spans, span_path)
+    n_events = write_events_jsonl(system.trace, event_path)
+    n_records = write_chrome_trace(chrome_path, spans=spans, events=system.trace)
+    write_metrics_snapshot(system.metrics, metrics_path)
+    profile = write_profile(system.sim.instrument, profile_path)
+
+    faults = len(spans.select(category="injection"))
+    recoveries = len(spans.select(category="recovery"))
+    _print_table(
+        f"trace: {scenario} (horizon {system.sim.now:.0f}s)",
+        ["artifact", "path", "records"],
+        [["spans (JSONL)", span_path, n_spans],
+         ["events (JSONL)", event_path, n_events],
+         ["Chrome trace", chrome_path, n_records],
+         ["metrics snapshot", metrics_path,
+          len(system.metrics.series_names) + len(system.metrics.counter_names)],
+         ["kernel profile", profile_path, profile.get("events", 0)]])
+    _print_table(
+        "trace: causal summary",
+        ["metric", "value"],
+        [["fault injections", faults],
+         ["recovery spans", recoveries],
+         ["message spans", len(spans.select(category="message"))],
+         ["kernel events profiled", profile.get("events", 0)],
+         ["mean event cost (us)", float(profile.get("mean_event_us", 0.0))]])
+    _progress(f"\nload {chrome_path} in chrome://tracing or https://ui.perfetto.dev")
+
+
 COMMANDS: Dict[str, Callable[[bool], None]] = {
     "maturity": cmd_maturity,
     "landscape": cmd_landscape,
@@ -201,21 +342,39 @@ COMMANDS: Dict[str, Callable[[bool], None]] = {
 
 
 def main(argv: List[str] = None) -> int:
+    global _JSON_COLLECTOR
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Run the resilient-IoT reproduction experiments.",
     )
-    parser.add_argument("command", choices=sorted(COMMANDS) + ["all"],
+    parser.add_argument("command", choices=sorted(COMMANDS) + ["all", "trace"],
                         help="which experiment to run")
+    parser.add_argument("scenario", nargs="?", choices=TRACE_SCENARIOS,
+                        default="smart-city-partition",
+                        help="scenario for the trace command")
     parser.add_argument("--quick", action="store_true",
                         help="smaller/faster variants of the experiments")
+    parser.add_argument("--json", action="store_true",
+                        help="emit tables as JSON instead of text")
+    parser.add_argument("--out", default="trace-out",
+                        help="output directory for trace artifacts")
     args = parser.parse_args(argv)
-    if args.command == "all":
-        for name in ("maturity", "landscape", "verify", "control",
-                     "dataflows", "mape"):
-            COMMANDS[name](args.quick)
-    else:
-        COMMANDS[args.command](args.quick)
+    if args.json:
+        _JSON_COLLECTOR = []
+    try:
+        if args.command == "all":
+            for name in ("maturity", "landscape", "verify", "control",
+                         "dataflows", "mape"):
+                COMMANDS[name](args.quick)
+        elif args.command == "trace":
+            cmd_trace(args.quick, scenario=args.scenario, out=args.out)
+        else:
+            COMMANDS[args.command](args.quick)
+        if _JSON_COLLECTOR is not None:
+            print(json.dumps({"tables": _JSON_COLLECTOR}, indent=2,
+                             default=str))
+    finally:
+        _JSON_COLLECTOR = None
     return 0
 
 

@@ -72,11 +72,27 @@ class HeartbeatFailureDetector:
         if not self._running:
             return
         if self.network.node_up(self.node_id):
-            self.network.broadcast(
-                self.node_id, self.peers, "fd.heartbeat",
-                payload={"from": self.node_id}, size_bytes=32,
-            )
-            self._check(sim.now)
+            spans = self.network.spans
+            if spans is not None:
+                # One span per heartbeat round; the pings sent nest under it.
+                span = spans.start(
+                    f"fd:{self.node_id}", "coordination", sim.now,
+                    node=self.node_id, suspected=sorted(
+                        p for p, s in self._suspected.items() if s),
+                )
+                with spans.use(span):
+                    self.network.broadcast(
+                        self.node_id, self.peers, "fd.heartbeat",
+                        payload={"from": self.node_id}, size_bytes=32,
+                    )
+                    self._check(sim.now)
+                spans.finish(span, sim.now)
+            else:
+                self.network.broadcast(
+                    self.node_id, self.peers, "fd.heartbeat",
+                    payload={"from": self.node_id}, size_bytes=32,
+                )
+                self._check(sim.now)
         sim.schedule(self.period, self._tick, label=f"fd:{self.node_id}")
 
     def _on_heartbeat(self, message) -> None:
@@ -155,11 +171,25 @@ class PhiAccrualFailureDetector:
         if not self._running:
             return
         if self.network.node_up(self.node_id):
-            self.network.broadcast(
-                self.node_id, self.peers, "fd.phi_heartbeat",
-                payload={"from": self.node_id}, size_bytes=32,
-            )
-            self._evaluate(sim.now)
+            spans = self.network.spans
+            if spans is not None:
+                span = spans.start(
+                    f"phi:{self.node_id}", "coordination", sim.now,
+                    node=self.node_id,
+                )
+                with spans.use(span):
+                    self.network.broadcast(
+                        self.node_id, self.peers, "fd.phi_heartbeat",
+                        payload={"from": self.node_id}, size_bytes=32,
+                    )
+                    self._evaluate(sim.now)
+                spans.finish(span, sim.now)
+            else:
+                self.network.broadcast(
+                    self.node_id, self.peers, "fd.phi_heartbeat",
+                    payload={"from": self.node_id}, size_bytes=32,
+                )
+                self._evaluate(sim.now)
         sim.schedule(self.period, self._tick, label=f"phi:{self.node_id}")
 
     def _on_heartbeat(self, message) -> None:

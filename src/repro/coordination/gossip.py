@@ -115,13 +115,29 @@ class GossipNode:
             self.rounds += 1
             targets = self.rng.sample(sorted(self.peers), min(self.fanout, len(self.peers)))
             digest = self._serialize()
-            for target in targets:
-                self.network.send(
-                    self.node_id, target, "gossip.push",
-                    payload={"from": self.node_id, "state": digest},
-                    size_bytes=64 + 48 * len(digest),
+            spans = self.network.spans
+            if spans is not None:
+                # One span per anti-entropy round; the push (and, via
+                # message-context propagation, the pull reply) nest under it.
+                span = spans.start(
+                    f"gossip:{self.node_id}", "coordination", sim.now,
+                    node=self.node_id, round=self.rounds,
+                    targets=list(targets),
                 )
+                with spans.use(span):
+                    self._push(targets, digest)
+                spans.finish(span, sim.now)
+            else:
+                self._push(targets, digest)
         sim.schedule(self.period, self._round, label=f"gossip:{self.node_id}")
+
+    def _push(self, targets: List[str], digest) -> None:
+        for target in targets:
+            self.network.send(
+                self.node_id, target, "gossip.push",
+                payload={"from": self.node_id, "state": digest},
+                size_bytes=64 + 48 * len(digest),
+            )
 
     # -- message handling ------------------------------------------------------#
     def _on_push(self, message: Message) -> None:

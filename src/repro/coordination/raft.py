@@ -16,11 +16,14 @@ from __future__ import annotations
 
 import enum
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.network.transport import Message, Network
 from repro.simulation.kernel import Simulator
+
+_NULL_CONTEXT = nullcontext()
 
 
 class RaftRole(enum.Enum):
@@ -93,6 +96,7 @@ class RaftNode:
         self._election_deadline = 0.0
         self._running = False
         self.elections_won = 0
+        self._election_span = None
 
         for kind in ("raft.request_vote", "raft.vote_reply",
                      "raft.append_entries", "raft.append_reply"):
@@ -147,18 +151,35 @@ class RaftNode:
         self._reset_election_timer()
         last_index = len(self.log)
         last_term = self.log[-1].term if self.log else 0
-        for peer in self.peers:
-            self.network.send(
-                self.node_id, peer, "raft.request_vote",
-                payload={
-                    "term": self.current_term,
-                    "candidate": self.node_id,
-                    "last_log_index": last_index,
-                    "last_log_term": last_term,
-                },
-                size_bytes=96,
+        spans = self.network.spans
+        if spans is not None:
+            # An election span lives from campaign start until won/lost;
+            # a re-campaign closes the stale one as timed out.
+            self._close_election_span("timeout")
+            self._election_span = spans.start(
+                f"election:{self.node_id}", "coordination", self.sim.now,
+                node=self.node_id, term=self.current_term,
             )
-        self._maybe_win()
+        with (spans.use(self._election_span) if spans is not None
+              else _NULL_CONTEXT):
+            for peer in self.peers:
+                self.network.send(
+                    self.node_id, peer, "raft.request_vote",
+                    payload={
+                        "term": self.current_term,
+                        "candidate": self.node_id,
+                        "last_log_index": last_index,
+                        "last_log_term": last_term,
+                    },
+                    size_bytes=96,
+                )
+            self._maybe_win()
+
+    def _close_election_span(self, status: str) -> None:
+        span, self._election_span = self._election_span, None
+        spans = self.network.spans
+        if span is not None and spans is not None:
+            spans.finish(span, self.sim.now, status=status)
 
     def _maybe_win(self) -> None:
         if self.role != RaftRole.CANDIDATE:
@@ -167,6 +188,7 @@ class RaftNode:
             self.role = RaftRole.LEADER
             self.leader_id = self.node_id
             self.elections_won += 1
+            self._close_election_span("won")
             next_idx = len(self.log) + 1
             self.next_index = {p: next_idx for p in self.peers}
             self.match_index = {p: 0 for p in self.peers}
@@ -234,6 +256,7 @@ class RaftNode:
         self.current_term = term
         self.role = RaftRole.FOLLOWER
         self.voted_for = None
+        self._close_election_span("lost")
         self._reset_election_timer()
 
     def _on_request_vote(self, message: Message) -> None:

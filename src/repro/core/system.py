@@ -16,6 +16,8 @@ from repro.faults.injector import FaultInjector
 from repro.network.partition import PartitionManager
 from repro.network.topology import Topology, build_edge_cloud_topology
 from repro.network.transport import Network
+from repro.observability.instrument import Instrument
+from repro.observability.spans import SpanRecorder
 from repro.simulation.kernel import Simulator
 from repro.simulation.metrics import MetricsRecorder
 from repro.simulation.rng import RngRegistry
@@ -46,6 +48,27 @@ class IoTSystem:
         # edge node id -> device ids under it (set by landscape builders).
         self.sites: Dict[str, List[str]] = {}
         self.cloud_node: Optional[str] = None
+        # Observability is opt-in (enable_observability); None when off so
+        # instrumented hot paths cost a single attribute check.
+        self.spans: Optional[SpanRecorder] = None
+
+    # -- observability ----------------------------------------------------------#
+    def enable_observability(self, instrument: bool = True) -> SpanRecorder:
+        """Attach causal-span recording (and optionally a kernel profiler).
+
+        Spans propagate through the transport, the fault injector, the
+        partition manager, and every protocol that reads
+        ``network.spans`` (MAPE loops, gossip, raft, failure detectors).
+        Safe to call after the system is fully wired; returns the recorder.
+        """
+        if self.spans is None:
+            self.spans = SpanRecorder()
+        self.network.spans = self.spans
+        self.injector.spans = self.spans
+        self.partitions.spans = self.spans
+        if instrument and self.sim.instrument is None:
+            self.sim.instrument = Instrument()
+        return self.spans
 
     # -- construction ----------------------------------------------------------#
     @classmethod

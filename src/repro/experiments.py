@@ -104,13 +104,19 @@ FIG5_OUTAGE = (30.0, 55.0)
 FIG5_FAULTS = [(10.0, "d0.0"), (40.0, "d1.0")]   # second fault lands mid-outage
 
 
-def run_mape_placement(placement: str, seed: int = 19
+def run_mape_placement(placement: str, seed: int = 19, observe: bool = False
                        ) -> Tuple[IoTSystem, List[MapeLoop]]:
-    """Fig. 5: identical faults under a cloud-hosted vs edge-hosted loop."""
+    """Fig. 5: identical faults under a cloud-hosted vs edge-hosted loop.
+
+    With ``observe``, causal spans and kernel profiling are enabled before
+    anything runs, so the returned system carries a full trace.
+    """
     if placement not in ("cloud", "edge"):
         raise ValueError(f"unknown placement {placement!r}")
     system = IoTSystem.with_edge_cloud_landscape(FIG5_N_SITES, FIG5_DEVICES,
                                                  seed=seed)
+    if observe:
+        system.enable_observability()
     for _, devices in sorted(system.sites.items()):
         for device_id in devices:
             system.fleet.get(device_id).host(Service(f"svc-{device_id}"))

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.network.link import Link
 from repro.network.topology import Topology
+from repro.observability.spans import Span, SpanRecorder
 from repro.simulation.kernel import Simulator
 from repro.simulation.trace import TraceLog
 
@@ -25,11 +26,14 @@ class PartitionManager:
         sim: Simulator,
         topology: Topology,
         trace: Optional[TraceLog] = None,
+        spans: Optional[SpanRecorder] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.trace = trace
+        self.spans = spans
         self._active: Dict[str, List[Link]] = {}
+        self._spans_by_name: Dict[str, Span] = {}
 
     @property
     def active_partitions(self) -> List[str]:
@@ -74,6 +78,13 @@ class PartitionManager:
         for link in links:
             link.set_up(False)
         self._active[name] = links
+        if self.spans is not None:
+            # Parented to whatever caused the cut (a fault-injection span
+            # when driven through the injector); spans the whole outage.
+            self._spans_by_name[name] = self.spans.start(
+                f"partition:{name}", "fault", self.sim.now,
+                links=[l.key() for l in links],
+            )
         if self.trace is not None:
             self.trace.emit(
                 self.sim.now,
@@ -92,6 +103,12 @@ class PartitionManager:
             raise KeyError(f"no active partition {name!r}")
         for link in links:
             link.set_up(True)
+        if self.spans is not None:
+            span = self._spans_by_name.pop(name, None)
+            if span is not None:
+                self.spans.record(f"heal:{name}", "recovery", self.sim.now,
+                                  parent=span)
+                self.spans.finish(span, self.sim.now, status="healed")
         if self.trace is not None:
             self.trace.emit(
                 self.sim.now,

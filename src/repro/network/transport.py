@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.network.topology import Topology
+from repro.observability.spans import SpanContext, SpanRecorder
 from repro.simulation.kernel import Simulator
 from repro.simulation.trace import TraceLog
 
@@ -30,6 +31,9 @@ class Message:
 
     ``kind`` is the protocol-level message type (e.g. ``"gossip"``,
     ``"raft.append_entries"``); ``payload`` is protocol-defined.
+    ``span`` carries the causal context of the send (when the network has
+    a :class:`~repro.observability.spans.SpanRecorder` attached), so work
+    the handler triggers is attributed to the message that caused it.
     """
 
     src: str
@@ -39,6 +43,7 @@ class Message:
     size_bytes: int = 256
     msg_id: int = field(default=-1)
     sent_at: float = field(default=0.0)
+    span: Optional[SpanContext] = field(default=None, compare=False)
 
 
 @dataclass
@@ -71,10 +76,14 @@ class Network:
         sim: Simulator,
         topology: Topology,
         trace: Optional[TraceLog] = None,
+        spans: Optional[SpanRecorder] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.trace = trace
+        # Causal span recorder; protocols read this attribute dynamically
+        # so observability can be enabled on an already-wired system.
+        self.spans = spans
         self.stats = NetworkStats()
         self._handlers: Dict[str, Dict[str, MessageHandler]] = {}
         self._msg_ids = itertools.count()
@@ -123,57 +132,80 @@ class Network:
             sent_at=self.sim.now,
         )
         self.stats.sent += 1
-        self._dispatch(message)
+        spans = self.spans
+        if spans is not None:
+            # The send span inherits whatever the sender is doing (a MAPE
+            # iteration, a gossip round, a delivering message) and closes
+            # at delivery or drop time.
+            span = spans.start(
+                f"msg:{kind}", "message", self.sim.now,
+                src=src, dst=dst, msg_id=message.msg_id,
+            )
+            message.span = span.context
+            self._dispatch(message, span)
+        else:
+            self._dispatch(message, None)
         return message
 
-    def _dispatch(self, message: Message) -> None:
+    def _dispatch(self, message: Message, span) -> None:
         if message.src in self._down_nodes or message.dst in self._down_nodes:
-            self._drop(message, "unreachable")
+            self._drop(message, "unreachable", span)
             return
         path = self.topology.route(message.src, message.dst)
         if path is None:
-            self._drop(message, "unreachable")
+            self._drop(message, "unreachable", span)
             return
         intermediate = path[1:-1]
         if any(node in self._down_nodes for node in intermediate):
             # Down relays are invisible to shortest-path; model them as a
             # black hole, which is what a crashed gateway is.
-            self._drop(message, "unreachable")
+            self._drop(message, "unreachable", span)
             return
         total_latency = 0.0
         for link in self.topology.path_links(path):
             if link.model.sample_loss():
-                self._drop(message, "loss")
+                self._drop(message, "loss", span)
                 return
             total_latency += link.model.sample_latency(message.size_bytes)
         self.sim.schedule(
             total_latency,
-            lambda _s, m=message, lat=total_latency: self._deliver(m, lat),
+            lambda _s, m=message, lat=total_latency, sp=span: self._deliver(m, lat, sp),
             label=f"deliver:{message.kind}",
         )
 
-    def _deliver(self, message: Message, latency: float) -> None:
+    def _deliver(self, message: Message, latency: float, span=None) -> None:
         # Re-check destination liveness at arrival time: the node may have
         # crashed while the message was in flight.
         if message.dst in self._down_nodes:
-            self._drop(message, "unreachable")
+            self._drop(message, "unreachable", span)
             return
         handlers = self._handlers.get(message.dst)
         handler = None
         if handlers:
             handler = handlers.get(message.kind) or handlers.get("*")
         if handler is None:
-            self._drop(message, "unreachable")
+            self._drop(message, "unreachable", span)
             return
         self.stats.delivered += 1
         self.stats.total_latency += latency
-        handler(message)
+        spans = self.spans
+        if spans is not None and span is not None:
+            spans.finish(span, self.sim.now, status="delivered",
+                         latency=latency)
+            # Handler-side work (replies, state changes) is caused by this
+            # message: keep its context current while the handler runs.
+            with spans.use(span):
+                handler(message)
+        else:
+            handler(message)
 
-    def _drop(self, message: Message, reason: str) -> None:
+    def _drop(self, message: Message, reason: str, span=None) -> None:
         if reason == "loss":
             self.stats.dropped_loss += 1
         else:
             self.stats.dropped_unreachable += 1
+        if span is not None and self.spans is not None:
+            self.spans.finish(span, self.sim.now, status=f"dropped:{reason}")
         if self.trace is not None:
             self.trace.emit(
                 self.sim.now,

@@ -1,0 +1,43 @@
+"""Observability: causal spans, kernel profiling, exportable telemetry.
+
+The paper's Section VII keeps "models alive at runtime"; this package is
+the instrumentation surface those models are built from:
+
+* :class:`~repro.observability.spans.SpanRecorder` -- causal spans with
+  trace/parent links, propagated through the transport, the MAPE loop,
+  coordination protocols and the fault injector, so one disruption can be
+  followed from injection to repaired state.
+* :class:`~repro.observability.instrument.Instrument` -- a kernel profiler
+  recording per-event wall-clock cost, per-label counts and queue depth;
+  near-zero overhead when detached.
+* :mod:`~repro.observability.export` -- JSONL, Chrome trace-event
+  (Perfetto-loadable), metrics-snapshot and profile writers.
+
+Enable it on a system with :meth:`repro.core.system.IoTSystem.enable_observability`
+or run ``python -m repro trace <scenario>`` for ready-made artifacts.
+"""
+
+from repro.observability.export import (
+    chrome_trace_events,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_snapshot,
+    write_profile,
+    write_spans_jsonl,
+)
+from repro.observability.instrument import Instrument, LabelStats
+from repro.observability.spans import Span, SpanContext, SpanRecorder
+
+__all__ = [
+    "Instrument",
+    "LabelStats",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "write_metrics_snapshot",
+    "write_profile",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,158 @@
+"""Exporters: JSONL, Chrome trace-event, metrics and profile snapshots.
+
+Spans and trace events are simulator-domain data; these functions turn
+them into artifacts standard tooling reads:
+
+* ``write_spans_jsonl`` / ``write_events_jsonl`` -- one JSON object per
+  line, grep/jq-friendly, stable field order.
+* ``write_chrome_trace`` -- the Trace Event Format consumed by
+  ``chrome://tracing`` and https://ui.perfetto.dev: spans become complete
+  ("X") slices on one thread per category, trace events become instants.
+  Simulated seconds are mapped to microseconds so one trace-viewer "us"
+  equals one simulated microsecond.
+* ``write_metrics_snapshot`` / ``write_profile`` -- JSON dumps of the
+  :meth:`MetricsRecorder.snapshot` and :meth:`Instrument.report` dicts.
+
+All writers take a path, write atomically-enough (single open/write), and
+return the number of records written so CLIs can report artifact sizes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List, Optional, Union
+
+from repro.observability.instrument import Instrument
+from repro.observability.spans import Span
+from repro.simulation.metrics import MetricsRecorder
+from repro.simulation.trace import TraceEvent
+
+PathLike = Union[str, "os.PathLike[str]"]  # noqa: F821 - typing alias only
+
+_US = 1e6  # simulated seconds -> trace-viewer microseconds
+
+
+def _default(obj: Any) -> str:
+    """Fallback serializer: repr anything JSON doesn't know (sets, objects)."""
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)  # type: ignore[return-value]
+    return repr(obj)
+
+
+def write_spans_jsonl(spans: Iterable[Span], path: PathLike) -> int:
+    """One span per line; returns the number of spans written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.to_dict(), default=_default) + "\n")
+            count += 1
+    return count
+
+
+def event_to_dict(event: TraceEvent) -> Dict[str, Any]:
+    return {
+        "time": event.time,
+        "category": event.category,
+        "name": event.name,
+        "subject": event.subject,
+        "attrs": event.attrs,
+    }
+
+
+def write_events_jsonl(events: Iterable[TraceEvent], path: PathLike) -> int:
+    """One trace event per line; returns the number of events written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event_to_dict(event), default=_default) + "\n")
+            count += 1
+    return count
+
+
+def chrome_trace_events(
+    spans: Iterable[Span] = (),
+    events: Iterable[TraceEvent] = (),
+) -> List[Dict[str, Any]]:
+    """Build the Trace Event Format record list for spans + trace events.
+
+    Each span/event category gets its own named thread so Perfetto's track
+    view groups the stack layer by layer (messages, mape, faults, ...).
+    """
+    records: List[Dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+         "args": {"name": "repro simulation"}},
+    ]
+    tids: Dict[str, int] = {}
+
+    def tid_for(category: str) -> int:
+        tid = tids.get(category)
+        if tid is None:
+            tid = tids[category] = len(tids) + 1
+            records.append({
+                "ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+                "args": {"name": category},
+            })
+        return tid
+
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        args = {"trace_id": span.trace_id, "span_id": span.span_id,
+                "status": span.status}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update({k: repr(v) if not isinstance(v, (int, float, str, bool, type(None))) else v
+                     for k, v in span.attrs.items()})
+        records.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.category,
+            "ts": span.start * _US,
+            "dur": max((end - span.start) * _US, 1.0),
+            "pid": 1,
+            "tid": tid_for(span.category),
+            "args": args,
+        })
+    for event in events:
+        args = {"subject": event.subject}
+        args.update({k: repr(v) if not isinstance(v, (int, float, str, bool, type(None))) else v
+                     for k, v in event.attrs.items()})
+        records.append({
+            "ph": "i",
+            "name": event.name,
+            "cat": event.category,
+            "ts": event.time * _US,
+            "pid": 1,
+            "tid": tid_for(f"events:{event.category}"),
+            "s": "t",
+            "args": args,
+        })
+    return records
+
+
+def write_chrome_trace(
+    path: PathLike,
+    spans: Iterable[Span] = (),
+    events: Iterable[TraceEvent] = (),
+) -> int:
+    """Write a chrome://tracing / Perfetto-loadable JSON file."""
+    records = chrome_trace_events(spans=spans, events=events)
+    payload = {"traceEvents": records, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, default=_default)
+    return len(records)
+
+
+def write_metrics_snapshot(metrics: MetricsRecorder, path: PathLike) -> Dict[str, Any]:
+    """Dump ``metrics.snapshot()`` (series summaries + counters) as JSON."""
+    snapshot = metrics.snapshot()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True, default=_default)
+    return snapshot
+
+
+def write_profile(instrument: Optional[Instrument], path: PathLike) -> Dict[str, Any]:
+    """Dump the kernel profile report as JSON (empty report if detached)."""
+    report = instrument.report() if instrument is not None else {"events": 0}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True, default=_default)
+    return report

@@ -1,0 +1,140 @@
+"""Kernel instrumentation: a profiler for the DES hot path.
+
+An :class:`Instrument` attached to a :class:`~repro.simulation.kernel.Simulator`
+records, per fired event, the *wall-clock* time its callback took, keyed by
+the event's label.  Aggregation happens inline (a dict update per event),
+so million-event runs profile in O(labels) memory; the kernel pays a single
+``is None`` check per event when no instrument is attached.
+
+Labels group naturally by subsystem because the codebase already labels
+its events (``mape:edge0``, ``gossip:n3``, ``deliver:raft.append_entries``);
+:meth:`Instrument.report` additionally rolls labels up by their prefix
+before ``:`` so a profile reads as a per-subsystem cost table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class LabelStats:
+    """Aggregate wall-clock cost of events sharing one label."""
+
+    __slots__ = ("count", "total_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    @property
+    def mean_us(self) -> float:
+        return (self.total_s / self.count) * 1e6 if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_ms": self.total_s * 1e3,
+            "mean_us": self.mean_us,
+            "max_us": self.max_s * 1e6,
+        }
+
+
+class Instrument:
+    """Per-event kernel profile: execution time, counts, queue depth.
+
+    ``enabled`` can be flipped at runtime to bracket a region of interest;
+    a disabled instrument costs the kernel one extra attribute check per
+    event.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events = 0
+        self.total_busy_s = 0.0
+        self.max_queue_depth = 0
+        self._labels: Dict[str, LabelStats] = {}
+        self._queue_depth_sum = 0
+        self.first_event_time: Optional[float] = None
+        self.last_event_time: Optional[float] = None
+
+    # -- hot-path hook (called by Simulator.step) -------------------------- #
+    def record(self, label: str, wall_seconds: float, queue_depth: int,
+               sim_time: float) -> None:
+        self.events += 1
+        self.total_busy_s += wall_seconds
+        self._queue_depth_sum += queue_depth
+        if queue_depth > self.max_queue_depth:
+            self.max_queue_depth = queue_depth
+        stats = self._labels.get(label)
+        if stats is None:
+            stats = self._labels[label] = LabelStats()
+        stats.add(wall_seconds)
+        if self.first_event_time is None:
+            self.first_event_time = sim_time
+        self.last_event_time = sim_time
+
+    # -- reporting --------------------------------------------------------- #
+    @property
+    def mean_queue_depth(self) -> float:
+        return self._queue_depth_sum / self.events if self.events else 0.0
+
+    def label_stats(self, label: str) -> Optional[LabelStats]:
+        return self._labels.get(label)
+
+    @property
+    def labels(self) -> Dict[str, LabelStats]:
+        return dict(self._labels)
+
+    def by_subsystem(self) -> Dict[str, LabelStats]:
+        """Roll label stats up by their ``prefix:`` subsystem key."""
+        rolled: Dict[str, LabelStats] = {}
+        for label, stats in self._labels.items():
+            key = label.split(":", 1)[0] if label else "(unlabeled)"
+            agg = rolled.get(key)
+            if agg is None:
+                agg = rolled[key] = LabelStats()
+            agg.count += stats.count
+            agg.total_s += stats.total_s
+            agg.max_s = max(agg.max_s, stats.max_s)
+        return rolled
+
+    def report(self, top: int = 20) -> Dict[str, Any]:
+        """A JSON-ready profile: totals, queue stats, hottest subsystems."""
+        subsystems = sorted(
+            self.by_subsystem().items(),
+            key=lambda item: item[1].total_s,
+            reverse=True,
+        )
+        hottest_labels = sorted(
+            self._labels.items(), key=lambda item: item[1].total_s, reverse=True
+        )[:top]
+        return {
+            "events": self.events,
+            "busy_ms": self.total_busy_s * 1e3,
+            "mean_event_us": (self.total_busy_s / self.events) * 1e6 if self.events else 0.0,
+            "mean_queue_depth": self.mean_queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "sim_time_span": (
+                (self.last_event_time - self.first_event_time)
+                if self.first_event_time is not None and self.last_event_time is not None
+                else 0.0
+            ),
+            "subsystems": {name: stats.to_dict() for name, stats in subsystems},
+            "hottest_labels": {label: stats.to_dict() for label, stats in hottest_labels},
+        }
+
+    def reset(self) -> None:
+        self.events = 0
+        self.total_busy_s = 0.0
+        self.max_queue_depth = 0
+        self._labels.clear()
+        self._queue_depth_sum = 0
+        self.first_event_time = None
+        self.last_event_time = None

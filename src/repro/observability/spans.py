@@ -1,0 +1,263 @@
+"""Causal spans over simulated time.
+
+A :class:`Span` is an interval of *simulated* time attributed to one
+operation -- a message in flight, a MAPE iteration, a gossip round, a
+fault's disruption→recovery arc.  Spans carry parent links and trace ids,
+so a single disruption can be followed end-to-end: the fault-injection
+span roots a trace, and every message, protocol round and repair that the
+disruption causes is recorded as a descendant.
+
+This is the "model kept alive at runtime" of the paper's Section VII made
+navigable: where :class:`~repro.simulation.trace.TraceLog` answers *what
+happened when*, the span tree answers *what caused what*.
+
+Ids are deterministic (monotonic counters, no wall clock, no randomness)
+so traces are reproducible bit-for-bit from the simulation seed, exactly
+like the simulation itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of a span.
+
+    Contexts are what crosses component boundaries (e.g. rides on a
+    :class:`~repro.network.transport.Message`): enough to parent a child
+    span in another subsystem without holding the span object itself.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    def child_of(self) -> "SpanContext":  # pragma: no cover - debugging aid
+        return self
+
+
+@dataclass
+class Span:
+    """One named interval of simulated time within a trace."""
+
+    name: str
+    category: str
+    context: SpanContext
+    start: float
+    end: Optional[float] = None
+    status: str = "ok"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def trace_id(self) -> str:
+        return self.context.trace_id
+
+    @property
+    def span_id(self) -> str:
+        return self.context.span_id
+
+    @property
+    def parent_id(self) -> Optional[str]:
+        return self.context.parent_id
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+
+ParentLike = Union[Span, SpanContext, None]
+
+
+class SpanRecorder:
+    """Creates, finishes and indexes spans.
+
+    The recorder keeps a *current-context stack*: components push the span
+    they are working under (an executing MAPE iteration, a delivering
+    message), and any span started without an explicit parent inherits the
+    top of the stack.  The simulation is single-threaded, so a plain stack
+    gives correct causal attribution across arbitrarily nested callbacks.
+
+    A small *fault index* maps subjects (device ids, fault names) to their
+    currently-active injection span, so that a repair performed far from
+    the injector -- e.g. by a MAPE loop -- can still join the disruption's
+    trace.
+    """
+
+    def __init__(self) -> None:
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self._spans: List[Span] = []
+        self._open: Dict[str, Span] = {}
+        self._stack: List[SpanContext] = []
+        self._fault_index: Dict[str, Span] = {}
+
+    # -- creation --------------------------------------------------------- #
+    def start(
+        self,
+        name: str,
+        category: str,
+        time: float,
+        parent: ParentLike = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span at simulated ``time``.
+
+        Without an explicit ``parent`` the span is parented to the current
+        context (if any); a parentless span roots a fresh trace.
+        """
+        parent_ctx = self._resolve_parent(parent)
+        if parent_ctx is not None:
+            context = SpanContext(
+                trace_id=parent_ctx.trace_id,
+                span_id=f"s{next(self._span_ids):06d}",
+                parent_id=parent_ctx.span_id,
+            )
+        else:
+            context = SpanContext(
+                trace_id=f"t{next(self._trace_ids):04d}",
+                span_id=f"s{next(self._span_ids):06d}",
+            )
+        span = Span(name=name, category=category, context=context,
+                    start=float(time), attrs=dict(attrs))
+        self._spans.append(span)
+        self._open[span.span_id] = span
+        return span
+
+    def finish(self, span: Span, time: float, status: str = "ok", **attrs: Any) -> Span:
+        """Close ``span`` at simulated ``time`` (idempotent)."""
+        if span.end is None:
+            span.end = float(time)
+            span.status = status
+            if attrs:
+                span.attrs.update(attrs)
+            self._open.pop(span.span_id, None)
+        return span
+
+    def record(
+        self,
+        name: str,
+        category: str,
+        time: float,
+        parent: ParentLike = None,
+        status: str = "ok",
+        **attrs: Any,
+    ) -> Span:
+        """Start and immediately finish an instantaneous span."""
+        span = self.start(name, category, time, parent=parent, **attrs)
+        return self.finish(span, time, status=status)
+
+    def _resolve_parent(self, parent: ParentLike) -> Optional[SpanContext]:
+        if parent is None:
+            return self.current
+        if isinstance(parent, Span):
+            return parent.context
+        return parent
+
+    # -- current-context stack -------------------------------------------- #
+    @property
+    def current(self) -> Optional[SpanContext]:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def use(self, context: ParentLike) -> Iterator[None]:
+        """Make ``context`` the implicit parent for the enclosed block.
+
+        Accepts a span, a bare context, or None (no-op), so call sites can
+        pass through whatever they hold without case analysis.
+        """
+        if context is None:
+            yield
+            return
+        ctx = context.context if isinstance(context, Span) else context
+        self._stack.append(ctx)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    # -- fault index ------------------------------------------------------- #
+    def open_fault(self, subject: str, span: Span) -> None:
+        """Register ``span`` as the active injection span for ``subject``."""
+        self._fault_index[subject] = span
+
+    def close_fault(self, subject: str) -> None:
+        self._fault_index.pop(subject, None)
+
+    def active_fault(self, subject: str) -> Optional[Span]:
+        """The injection span currently disrupting ``subject``, if any."""
+        return self._fault_index.get(subject)
+
+    # -- queries ----------------------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    @property
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    @property
+    def open_spans(self) -> List[Span]:
+        return list(self._open.values())
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> List[Span]:
+        return [
+            s
+            for s in self._spans
+            if (category is None or s.category == category)
+            and (name is None or s.name == name)
+            and (trace_id is None or s.trace_id == trace_id)
+        ]
+
+    def get(self, span_id: str) -> Optional[Span]:
+        for span in self._spans:
+            if span.span_id == span_id:
+                return span
+        return None
+
+    def is_descendant(self, span: Span, ancestor: Span) -> bool:
+        """True if ``ancestor`` is on ``span``'s parent chain."""
+        by_id = {s.span_id: s for s in self._spans}
+        current: Optional[str] = span.parent_id
+        while current is not None:
+            if current == ancestor.span_id:
+                return True
+            parent = by_id.get(current)
+            current = parent.parent_id if parent is not None else None
+        return False
+
+    def finish_open(self, time: float, status: str = "truncated") -> int:
+        """Close every still-open span (end of run); returns how many."""
+        still_open = list(self._open.values())
+        for span in still_open:
+            self.finish(span, time, status=status)
+        return len(still_open)

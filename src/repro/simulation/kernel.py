@@ -21,7 +21,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.observability.instrument import Instrument
 
 
 class SimulationError(RuntimeError):
@@ -88,6 +92,10 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
+        self._pending = 0
+        # Optional kernel profiler (repro.observability.Instrument).  The
+        # hot path pays one attribute check per event when detached.
+        self.instrument: Optional["Instrument"] = None
         # Arbitrary shared context: subsystems register themselves here so
         # that loosely coupled components (e.g. fault injector and device
         # fleet) can find each other without import cycles.
@@ -131,12 +139,14 @@ class Simulator:
             )
         event = Event(time, priority, next(self._seq), callback, label=label)
         heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
+        self._pending += 1
         return event
 
     def cancel(self, event: Event) -> bool:
         """Cancel a pending event.  Returns True if it was still pending."""
         if event.pending:
             event.cancelled = True
+            self._pending -= 1
             return True
         return False
 
@@ -151,7 +161,15 @@ class Simulator:
                 continue
             self._now = event.time
             event.fired = True
-            event.callback(self)
+            self._pending -= 1
+            instrument = self.instrument
+            if instrument is not None and instrument.enabled:
+                started = perf_counter()
+                event.callback(self)
+                instrument.record(event.label, perf_counter() - started,
+                                  self._pending, self._now)
+            else:
+                event.callback(self)
             return True
         return False
 
@@ -193,5 +211,10 @@ class Simulator:
 
     @property
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for (_, _, _, e) in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events in the queue.
+
+        O(1): a live counter maintained on schedule/cancel/fire rather
+        than a heap scan (cancellation is lazy, so the heap may hold
+        already-cancelled entries).
+        """
+        return self._pending

@@ -169,8 +169,18 @@ class MetricsRecorder:
         return sorted(self._counters)
 
     # -- bulk helpers ------------------------------------------------------ #
-    def summary(self, names: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, float]]:
-        """Per-series {count, mean, p95, max} summary for reporting."""
+    def summary(
+        self,
+        names: Optional[Sequence[str]] = None,
+        include_counters: bool = True,
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-metric summary for reporting.
+
+        Series entries carry ``{count, mean, p95, max}``; counters (which
+        historically were silently dropped) appear as ``{"counter": value}``
+        entries.  Pass ``include_counters=False`` for the series-only view.
+        ``names``, when given, filters both series and counters.
+        """
         out: Dict[str, Dict[str, float]] = {}
         for name in names if names is not None else self.series_names:
             series = self._series.get(name)
@@ -187,4 +197,19 @@ class MetricsRecorder:
             if mx is not None:
                 entry["max"] = mx
             out[name] = entry
+        if include_counters:
+            for name in names if names is not None else self.counter_names:
+                if name in self._counters and name not in out:
+                    out[name] = {"counter": self._counters[name]}
         return out
+
+    def snapshot(self, names: Optional[Sequence[str]] = None) -> Dict[str, Dict]:
+        """Series summaries and counters in one exportable dict."""
+        return {
+            "series": self.summary(names, include_counters=False),
+            "counters": {
+                name: self._counters[name]
+                for name in (names if names is not None else self.counter_names)
+                if name in self._counters
+            },
+        }

@@ -10,8 +10,9 @@ simplest faithful form.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -55,11 +56,23 @@ class TraceEvent:
 
 
 class TraceLog:
-    """Append-only event log with query helpers and live subscribers."""
+    """Append-only event log with query helpers and live subscribers.
 
-    def __init__(self) -> None:
-        self._events: List[TraceEvent] = []
+    With ``maxlen`` set the log becomes a ring buffer: the newest
+    ``maxlen`` events are kept and older ones are dropped, so
+    million-event runs hold bounded memory.  :attr:`dropped` counts the
+    evicted events (and is surfaced as a counter by the observability
+    exporters), so consumers can tell a truncated history from a short one.
+    """
+
+    def __init__(self, maxlen: Optional[int] = None) -> None:
+        if maxlen is not None and maxlen <= 0:
+            raise ValueError(f"maxlen must be positive, got {maxlen}")
+        self.maxlen = maxlen
+        self._events: Deque[TraceEvent] = deque(maxlen=maxlen)
         self._subscribers: List[Callable[[TraceEvent], None]] = []
+        self.dropped = 0
+        self.subscriber_errors = 0
 
     def emit(
         self,
@@ -69,15 +82,32 @@ class TraceLog:
         subject: str = "",
         **attrs: Any,
     ) -> TraceEvent:
-        """Record an event and notify live subscribers."""
+        """Record an event and notify live subscribers.
+
+        Subscriber dispatch is hardened: a raising subscriber cannot
+        corrupt the log (the event is already appended) nor hide the event
+        from later subscribers -- every subscriber is invoked, errors are
+        counted in :attr:`subscriber_errors`, and the first exception is
+        re-raised after dispatch completes.
+        """
         if self._events and time < self._events[-1].time:
             raise ValueError(
                 f"trace time went backwards: {time} < {self._events[-1].time}"
             )
         event = TraceEvent(time=time, category=category, name=name, subject=subject, attrs=attrs)
+        if self.maxlen is not None and len(self._events) == self.maxlen:
+            self.dropped += 1
         self._events.append(event)
+        first_error: Optional[BaseException] = None
         for subscriber in list(self._subscribers):
-            subscriber(event)
+            try:
+                subscriber(event)
+            except Exception as exc:  # noqa: BLE001 - counted and re-raised
+                self.subscriber_errors += 1
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
         return event
 
     def subscribe(self, callback: Callable[[TraceEvent], None]) -> Callable[[], None]:

@@ -1,5 +1,7 @@
 """Smoke tests for the CLI front-end."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -27,3 +29,57 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["warp-drive"])
+
+
+class TestTraceCommand:
+    def test_trace_writes_artifacts(self, tmp_path, capsys):
+        assert main(["trace", "smart-city-partition", "--quick",
+                     "--out", str(tmp_path)]) == 0
+        for artifact in ("spans.jsonl", "events.jsonl", "trace.chrome.json",
+                         "metrics.json", "profile.json"):
+            assert (tmp_path / artifact).exists(), artifact
+        out = capsys.readouterr().out
+        assert "spans (JSONL)" in out
+        assert "causal summary" in out
+
+    def test_recovery_spans_join_injection_traces(self, tmp_path, capsys):
+        main(["trace", "smart-city-partition", "--quick",
+              "--out", str(tmp_path)])
+        spans = [json.loads(line)
+                 for line in (tmp_path / "spans.jsonl").read_text().splitlines()]
+        injected = {s["trace_id"] for s in spans if s["category"] == "injection"}
+        recoveries = [s for s in spans if s["category"] == "recovery"]
+        assert injected and recoveries
+        for span in recoveries:
+            assert span["trace_id"] in injected
+
+    def test_chrome_trace_is_loadable_json(self, tmp_path, capsys):
+        main(["trace", "smart-city-partition", "--quick",
+              "--out", str(tmp_path)])
+        doc = json.loads((tmp_path / "trace.chrome.json").read_text())
+        phases = {r["ph"] for r in doc["traceEvents"]}
+        assert {"M", "X"} <= phases
+
+    def test_trace_mape_outage_scenario(self, tmp_path, capsys):
+        assert main(["trace", "mape-outage", "--quick",
+                     "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "spans.jsonl").stat().st_size > 0
+
+    def test_unknown_scenario_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "warp-core-breach", "--out", str(tmp_path)])
+
+    def test_json_output_mode(self, capsys):
+        assert main(["verify", "--quick", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tables"]
+        table = doc["tables"][0]
+        assert set(table) == {"title", "headers", "rows"}
+
+    def test_json_mode_trace(self, tmp_path, capsys):
+        assert main(["trace", "smart-city-partition", "--quick", "--json",
+                     "--out", str(tmp_path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        titles = " ".join(t["title"] for t in doc["tables"])
+        assert "smart-city-partition" in titles
+        assert "causal summary" in titles

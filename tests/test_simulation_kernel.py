@@ -76,6 +76,36 @@ class TestCancellation:
         sim.cancel(drop)
         assert sim.pending_count == 1
 
+    def test_pending_count_tracks_fires(self, sim):
+        sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None)
+        assert sim.pending_count == 2
+        sim.step()
+        assert sim.pending_count == 1
+        sim.run()
+        assert sim.pending_count == 0
+
+    def test_pending_count_tracks_schedules_during_run(self, sim):
+        observed = []
+
+        def first(s):
+            s.schedule(1.0, lambda _s: None)
+            s.schedule(2.0, lambda _s: None)
+            observed.append(s.pending_count)
+
+        sim.schedule(1.0, first)
+        sim.step()
+        assert observed == [2]
+
+    def test_pending_count_double_cancel_not_double_counted(self, sim):
+        sim.schedule(1.0, lambda s: None)
+        drop = sim.schedule(2.0, lambda s: None)
+        sim.cancel(drop)
+        sim.cancel(drop)
+        assert sim.pending_count == 1
+        sim.run()
+        assert sim.pending_count == 0
+
 
 class TestRunUntil:
     def test_run_until_stops_before_later_events(self, sim):

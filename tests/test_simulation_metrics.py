@@ -107,6 +107,41 @@ class TestTimeSeriesLevels:
         series.append(0.0, 1.0)
         assert series.time_weighted_mean(5.0, 5.0) is None
 
+    def test_time_weighted_mean_single_point_series(self):
+        series = TimeSeries("lvl", kind="level")
+        series.append(2.0, 0.75)
+        # One observation holds forever: any later window averages to it.
+        assert series.time_weighted_mean(2.0, 10.0) == pytest.approx(0.75)
+        assert series.time_weighted_mean(5.0, 6.0) == pytest.approx(0.75)
+
+    def test_time_weighted_mean_window_ending_exactly_at_first_obs(self):
+        series = TimeSeries("lvl", kind="level")
+        series.append(5.0, 1.0)
+        # Half-open [start, end): a window ending at the first observation
+        # never sees a defined value.
+        assert series.time_weighted_mean(0.0, 5.0) is None
+
+    def test_time_weighted_mean_changes_inside_window(self):
+        series = TimeSeries("lvl", kind="level")
+        series.append(0.0, 0.0)
+        series.append(2.0, 1.0)
+        series.append(6.0, 0.0)
+        # [0,2)=0, [2,6)=1, [6,8)=0 over an 8s window.
+        assert series.time_weighted_mean(0.0, 8.0) == pytest.approx(0.5)
+
+    def test_percentile_extremes_single_point(self):
+        series = TimeSeries("s")
+        series.append(0.0, 42.0)
+        assert series.percentile(0) == 42.0
+        assert series.percentile(100) == 42.0
+
+    def test_percentile_extremes_two_points(self):
+        series = TimeSeries("s")
+        series.append(0.0, 1.0)
+        series.append(1.0, 9.0)
+        assert series.percentile(0) == 1.0
+        assert series.percentile(100) == 9.0
+
 
 class TestMetricsRecorder:
     def test_record_and_series(self, metrics):
@@ -146,3 +181,29 @@ class TestMetricsRecorder:
         assert not metrics.has_series("x")
         metrics.record("x", 0.0, 0.0)
         assert metrics.has_series("x")
+
+    def test_summary_includes_counters(self, metrics):
+        metrics.record("lat", 0.0, 1.0)
+        metrics.increment("drops", 4)
+        summary = metrics.summary()
+        assert summary["drops"] == {"counter": 4.0}
+        assert summary["lat"]["count"] == 1.0
+        assert "drops" not in metrics.summary(include_counters=False)
+
+    def test_summary_names_filter_counters(self, metrics):
+        metrics.increment("a")
+        metrics.increment("b")
+        assert set(metrics.summary(names=["a"])) == {"a"}
+
+    def test_snapshot_combines_series_and_counters(self, metrics):
+        metrics.record("lat", 0.0, 2.0)
+        metrics.set_level("up", 0.0, 1.0)
+        metrics.increment("repairs", 2)
+        snapshot = metrics.snapshot()
+        assert set(snapshot) == {"series", "counters"}
+        assert snapshot["counters"] == {"repairs": 2.0}
+        assert snapshot["series"]["lat"]["mean"] == 2.0
+        assert "repairs" not in snapshot["series"]
+
+    def test_snapshot_empty_recorder(self, metrics):
+        assert metrics.snapshot() == {"series": {}, "counters": {}}

@@ -60,6 +60,73 @@ class TestTraceLog:
         assert not event.matches(subject="other")
 
 
+class TestTraceLogRingBuffer:
+    def test_maxlen_bounds_memory_and_counts_drops(self):
+        trace = TraceLog(maxlen=3)
+        for t in range(5):
+            trace.emit(float(t), "c", f"e{t}")
+        assert len(trace) == 3
+        assert [e.name for e in trace] == ["e2", "e3", "e4"]
+        assert trace.dropped == 2
+
+    def test_unbounded_by_default(self, trace):
+        for t in range(100):
+            trace.emit(float(t), "c", "n")
+        assert len(trace) == 100
+        assert trace.dropped == 0
+        assert trace.maxlen is None
+
+    def test_invalid_maxlen_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(maxlen=0)
+        with pytest.raises(ValueError):
+            TraceLog(maxlen=-5)
+
+    def test_queries_work_on_truncated_log(self):
+        trace = TraceLog(maxlen=2)
+        trace.emit(1.0, "fault", "partition-start", subject="p")
+        trace.emit(5.0, "recovery", "partition-heal", subject="p")
+        trace.emit(8.0, "fault", "partition-start", subject="p")
+        # Oldest event evicted; pairing sees only the surviving window.
+        assert trace.intervals("partition-start", "partition-heal",
+                               subject="p", horizon=10.0) == [(8.0, 10.0)]
+        assert trace.count(category="fault") == 1
+
+
+class TestTraceLogSubscriberHardening:
+    def test_raising_subscriber_does_not_hide_event(self, trace):
+        first_got, second_got = [], []
+
+        def boom(event):
+            first_got.append(event)
+            raise RuntimeError("subscriber exploded")
+
+        trace.subscribe(boom)
+        trace.subscribe(second_got.append)
+        with pytest.raises(RuntimeError, match="exploded"):
+            trace.emit(1.0, "c", "x")
+        # The log kept the event and the later subscriber still saw it.
+        assert len(trace) == 1
+        assert [e.name for e in second_got] == ["x"]
+        assert trace.subscriber_errors == 1
+
+    def test_first_error_reraised_all_counted(self, trace):
+        trace.subscribe(lambda e: (_ for _ in ()).throw(ValueError("first")))
+        trace.subscribe(lambda e: (_ for _ in ()).throw(KeyError("second")))
+        with pytest.raises(ValueError, match="first"):
+            trace.emit(1.0, "c", "x")
+        assert trace.subscriber_errors == 2
+
+    def test_log_still_usable_after_subscriber_error(self, trace):
+        bad = trace.subscribe(
+            lambda e: (_ for _ in ()).throw(RuntimeError("boom")))
+        with pytest.raises(RuntimeError):
+            trace.emit(1.0, "c", "x")
+        bad()
+        trace.emit(2.0, "c", "y")
+        assert [e.name for e in trace] == ["x", "y"]
+
+
 class TestRngRegistry:
     def test_same_name_same_stream_object(self, rngs):
         assert rngs.stream("a") is rngs.stream("a")
