@@ -4,12 +4,44 @@ Every bench regenerates one paper artifact (Tables 1-2 or Figures 1-5; see
 DESIGN.md section 3) and prints the rows/series it reports, then asserts
 the *shape* EXPERIMENTS.md records.  pytest-benchmark timings measure the
 cost of the underlying experiment run.
+
+When ``REPRO_BENCH_OUT`` is set to a directory, the session additionally
+writes its per-test wall-clock timings as a ``BENCH_<n>.json`` snapshot
+(same schema as ``benchmarks/regress.py``, bench name
+``pytest_timings``), so pytest-driven bench runs feed the same
+perf-trajectory comparison as the scripted harness.
 """
 
 from __future__ import annotations
 
+import os
+import re
 import sys
 from typing import Dict, List, Sequence
+
+_TIMINGS: Dict[str, float] = {}
+
+
+def pytest_runtest_logreport(report) -> None:
+    if report.when == "call" and report.passed:
+        name = re.sub(r"[^0-9A-Za-z_]+", "_", report.nodeid).strip("_")
+        _TIMINGS[f"{name}.wall_s"] = float(report.duration)
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    out_dir = os.environ.get("REPRO_BENCH_OUT")
+    if not out_dir or not _TIMINGS:
+        return
+    import regress  # same directory; on sys.path alongside this conftest
+
+    snapshot = {"schema": regress.SCHEMA, "quick": False,
+                "label": "pytest session timings",
+                "benches": {"pytest_timings": dict(sorted(_TIMINGS.items()))}}
+    number_env = os.environ.get("REPRO_BENCH_NUM")
+    path = regress.write_snapshot(
+        snapshot, out_dir,
+        number=int(number_env) if number_env else None)
+    print(f"\n[regress] wrote pytest timing snapshot {path}")
 
 
 def print_table(title: str, headers: Sequence[str],

@@ -1,0 +1,374 @@
+#!/usr/bin/env python
+"""Benchmark regression harness: ``BENCH_<n>.json`` perf-trajectory snapshots.
+
+Each run executes a fixed set of bench scenarios (headline figure/table
+experiments plus micro-benchmarks of the hot substrate), collects both
+*deterministic* headline KPIs (reading counts, availability, repair
+delays -- bit-identical across machines because the simulator is
+deterministic) and *wall-clock* timings (machine-dependent), and writes
+them as one ``BENCH_<n>.json`` snapshot.  Snapshots from different
+commits compare with per-metric tolerances: deterministic KPIs must
+match exactly, timings may drift within a generous bound -- so a CI run
+can flag both behavioural drift and order-of-magnitude slowdowns without
+flaking on scheduler noise.
+
+Usage::
+
+    python benchmarks/regress.py --quick                  # snapshot to CWD
+    python benchmarks/regress.py --quick --out benchmarks/baselines
+    python benchmarks/regress.py --compare A.json B.json  # no runs
+    python benchmarks/regress.py --baseline benchmarks/baselines/BENCH_1.json
+    python benchmarks/regress.py --self-test              # detection check
+
+Exit status: 0 clean, 1 when a comparison detects a regression (or the
+self-test fails).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import random
+import re
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+# Runnable as a script from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+SCHEMA = 1
+
+# --------------------------------------------------------------------------- #
+# tolerances: metric name pattern -> (relative tolerance, direction)
+#
+# direction "higher" flags only increases (timings: slower is a
+# regression, faster is not); "both" flags any drift beyond tolerance.
+# Deterministic KPIs get an epsilon tolerance: the simulator guarantees
+# bit-identical runs, so *any* change is a behavioural difference worth
+# a human look (and an intentional one is absorbed by re-baselining).
+# --------------------------------------------------------------------------- #
+_EPS = 1e-9
+TOLERANCES: List[Tuple[str, float, str]] = [
+    (r".*\.wall_s$", 1.0, "higher"),        # allow 2x before flagging
+    (r".*\.events_per_s$", 0.5, "lower"),   # throughput: flag 50% drops
+    (r".*", _EPS, "both"),                  # everything else: deterministic
+]
+
+
+def tolerance_for(metric: str) -> Tuple[float, str]:
+    for pattern, tol, direction in TOLERANCES:
+        if re.fullmatch(pattern, metric):
+            return tol, direction
+    return _EPS, "both"  # pragma: no cover - final pattern matches all
+
+
+# --------------------------------------------------------------------------- #
+# bench scenarios
+# --------------------------------------------------------------------------- #
+def bench_smart_city(quick: bool) -> Dict[str, float]:
+    """The observed smart-city disruption run and its resilience KPIs."""
+    from repro.cli import _run_smart_city_partition
+
+    started = time.perf_counter()
+    system = _run_smart_city_partition(quick)
+    wall = time.perf_counter() - started
+    system.spans.finish_open(system.sim.now)
+    report = system.kpi_report()
+    arcs = report.arcs
+    mttrs = [arc.mttr for arc in arcs if arc.mttr is not None]
+    return {
+        "wall_s": wall,
+        "availability": report.availability or 0.0,
+        "worst_availability": report.worst_availability or 0.0,
+        "faults": float(len(arcs)),
+        "resolved": float(sum(1 for a in arcs if a.resolved)),
+        "mttr_total_s": float(sum(mttrs)),
+        "messages_delivered": float(system.network.stats.delivered),
+        "spans": float(len(system.spans.spans)),
+    }
+
+
+def bench_mape_outage(quick: bool) -> Dict[str, float]:
+    """Fig. 5's edge-placed MAPE loop healing through a cloud outage."""
+    from repro.experiments import mape_repair_delays, run_mape_placement
+
+    started = time.perf_counter()
+    system, loops = run_mape_placement("edge")
+    wall = time.perf_counter() - started
+    delays = mape_repair_delays(system, loops)
+    return {
+        "wall_s": wall,
+        "repairs": float(len(delays)),
+        "repair_fastest_s": float(delays[0]) if delays else -1.0,
+        "repair_slowest_s": float(delays[-1]) if delays else -1.0,
+        "missed_observations": float(
+            sum(loop.missed_observations for loop in loops)),
+    }
+
+
+def bench_kernel(quick: bool) -> Dict[str, float]:
+    """Raw event-loop throughput: a self-rescheduling event chain."""
+    from repro.simulation.kernel import Simulator
+
+    n = 20_000 if quick else 100_000
+    sim = Simulator()
+    fired = [0]
+
+    def tick(s) -> None:
+        fired[0] += 1
+        if fired[0] < n:
+            s.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    started = time.perf_counter()
+    sim.run(until=n)
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": wall,
+        "events": float(fired[0]),
+        "final_now": round(sim.now, 6),
+        "events_per_s": fired[0] / wall if wall > 0 else 0.0,
+    }
+
+
+def bench_histogram(quick: bool) -> Dict[str, float]:
+    """Streaming-histogram ingest rate plus deterministic quantiles."""
+    from repro.observability.histogram import StreamingHistogram
+
+    n = 50_000 if quick else 200_000
+    rng = random.Random(42)
+    values = [rng.lognormvariate(-3.0, 1.0) for _ in range(n)]
+    hist = StreamingHistogram()
+    started = time.perf_counter()
+    for value in values:
+        hist.observe(value)
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": wall,
+        "events_per_s": n / wall if wall > 0 else 0.0,
+        "count": float(hist.count),
+        "p50": round(hist.quantile(0.5), 9),
+        "p99": round(hist.quantile(0.99), 9),
+    }
+
+
+SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
+    "smart_city": bench_smart_city,
+    "mape_outage": bench_mape_outage,
+    "kernel": bench_kernel,
+    "histogram": bench_histogram,
+}
+
+
+# --------------------------------------------------------------------------- #
+# snapshot plumbing
+# --------------------------------------------------------------------------- #
+def take_snapshot(quick: bool, label: str = "",
+                  only: Optional[List[str]] = None) -> Dict[str, Any]:
+    benches: Dict[str, Dict[str, float]] = {}
+    for name, runner in SCENARIOS.items():
+        if only and name not in only:
+            continue
+        print(f"[regress] running bench {name!r}...", flush=True)
+        benches[name] = runner(quick)
+    return {"schema": SCHEMA, "quick": quick, "label": label,
+            "benches": benches}
+
+
+def next_snapshot_number(out_dir: str) -> int:
+    numbers = [0]
+    for path in glob.glob(os.path.join(out_dir, "BENCH_*.json")):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if match:
+            numbers.append(int(match.group(1)))
+    return max(numbers) + 1
+
+
+def write_snapshot(snapshot: Dict[str, Any], out_dir: str,
+                   number: Optional[int] = None) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    if number is None:
+        number = next_snapshot_number(out_dir)
+    path = os.path.join(out_dir, f"BENCH_{number}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    with open(path, encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if snapshot.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: unsupported snapshot schema "
+                         f"{snapshot.get('schema')!r} (want {SCHEMA})")
+    return snapshot
+
+
+# --------------------------------------------------------------------------- #
+# comparison
+# --------------------------------------------------------------------------- #
+def compare_snapshots(
+    baseline: Dict[str, Any], current: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """Tolerance-aware diff; returns one record per regression.
+
+    Only metrics present in *both* snapshots compare (new benches are not
+    regressions; removed ones surface as ``missing`` records so a bench
+    cannot silently disappear from the trajectory).
+    """
+    regressions: List[Dict[str, Any]] = []
+    base_benches = baseline.get("benches", {})
+    cur_benches = current.get("benches", {})
+    if baseline.get("quick") != current.get("quick"):
+        regressions.append({
+            "bench": "*", "metric": "quick", "kind": "incomparable",
+            "baseline": baseline.get("quick"), "current": current.get("quick"),
+            "detail": "cannot compare quick and full snapshots",
+        })
+        return regressions
+    for bench, base_metrics in sorted(base_benches.items()):
+        cur_metrics = cur_benches.get(bench)
+        if cur_metrics is None:
+            regressions.append({
+                "bench": bench, "metric": "*", "kind": "missing",
+                "baseline": len(base_metrics), "current": None,
+                "detail": "bench present in baseline but not in current run",
+            })
+            continue
+        for metric, base_value in sorted(base_metrics.items()):
+            if metric not in cur_metrics:
+                regressions.append({
+                    "bench": bench, "metric": metric, "kind": "missing",
+                    "baseline": base_value, "current": None,
+                    "detail": "metric disappeared",
+                })
+                continue
+            cur_value = cur_metrics[metric]
+            tol, direction = tolerance_for(f"{bench}.{metric}")
+            scale = max(abs(float(base_value)), _EPS)
+            drift = (float(cur_value) - float(base_value)) / scale
+            exceeded = (
+                drift > tol if direction == "higher" else
+                -drift > tol if direction == "lower" else
+                abs(drift) > tol
+            )
+            if exceeded:
+                regressions.append({
+                    "bench": bench, "metric": metric, "kind": "drift",
+                    "baseline": base_value, "current": cur_value,
+                    "detail": f"drift {drift:+.2%} exceeds "
+                              f"{direction} tolerance {tol:.0%}",
+                })
+    return regressions
+
+
+def print_report(regressions: List[Dict[str, Any]]) -> None:
+    if not regressions:
+        print("[regress] OK: no regressions against baseline")
+        return
+    print(f"[regress] FAIL: {len(regressions)} regression(s) detected")
+    for reg in regressions:
+        print(f"  - {reg['bench']}.{reg['metric']} [{reg['kind']}]: "
+              f"{reg['baseline']} -> {reg['current']} ({reg['detail']})")
+
+
+# --------------------------------------------------------------------------- #
+# self-test: the harness must catch an injected regression
+# --------------------------------------------------------------------------- #
+def self_test(tmp_dir: str = ".") -> bool:
+    """Round-trip a synthetic snapshot and verify detection behaviour.
+
+    Three properties: identical snapshots compare clean; a perturbed
+    deterministic KPI is flagged; a >2x timing blowup is flagged while a
+    small timing wobble is not.
+    """
+    base = {
+        "schema": SCHEMA, "quick": True, "label": "self-test",
+        "benches": {
+            "smart_city": {"wall_s": 0.5, "availability": 0.98,
+                           "faults": 2.0, "messages_delivered": 500.0},
+            "kernel": {"wall_s": 0.2, "events": 20000.0,
+                       "events_per_s": 100000.0},
+        },
+    }
+    path = write_snapshot(base, tmp_dir, number=0)
+    loaded = load_snapshot(path)
+    os.unlink(path)
+    failures: List[str] = []
+
+    if compare_snapshots(loaded, json.loads(json.dumps(base))):
+        failures.append("identical snapshots reported a regression")
+
+    drifted = json.loads(json.dumps(base))
+    drifted["benches"]["smart_city"]["availability"] = 0.90   # KPI drift
+    drifted["benches"]["kernel"]["wall_s"] = 0.55             # 2.75x slower
+    drifted["benches"]["smart_city"]["wall_s"] = 0.6          # wobble: fine
+    found = compare_snapshots(base, drifted)
+    flagged = {(r["bench"], r["metric"]) for r in found}
+    if ("smart_city", "availability") not in flagged:
+        failures.append("deterministic KPI drift was not detected")
+    if ("kernel", "wall_s") not in flagged:
+        failures.append("timing regression beyond tolerance was not detected")
+    if ("smart_city", "wall_s") in flagged:
+        failures.append("in-tolerance timing wobble was wrongly flagged")
+
+    missing = json.loads(json.dumps(base))
+    del missing["benches"]["kernel"]
+    if not any(r["kind"] == "missing"
+               for r in compare_snapshots(base, missing)):
+        failures.append("disappearing bench was not detected")
+
+    for failure in failures:
+        print(f"[regress] self-test FAIL: {failure}")
+    if not failures:
+        print("[regress] self-test OK: injected regressions detected, "
+              "clean compare stays clean")
+    return not failures
+
+
+# --------------------------------------------------------------------------- #
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller scenario sizes (CI smoke)")
+    parser.add_argument("--out", default=".",
+                        help="directory for the BENCH_<n>.json snapshot")
+    parser.add_argument("--number", type=int, default=None,
+                        help="snapshot number (default: next free)")
+    parser.add_argument("--label", default="", help="free-form snapshot label")
+    parser.add_argument("--only", action="append", choices=sorted(SCENARIOS),
+                        help="run only the named bench (repeatable)")
+    parser.add_argument("--baseline", default=None,
+                        help="compare the fresh snapshot to this baseline")
+    parser.add_argument("--compare", nargs=2, metavar=("BASE", "CURRENT"),
+                        help="compare two existing snapshots; no benches run")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the harness detects injected regressions")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return 0 if self_test(args.out) else 1
+    if args.compare:
+        regressions = compare_snapshots(load_snapshot(args.compare[0]),
+                                        load_snapshot(args.compare[1]))
+        print_report(regressions)
+        return 1 if regressions else 0
+
+    snapshot = take_snapshot(args.quick, label=args.label, only=args.only)
+    path = write_snapshot(snapshot, args.out, number=args.number)
+    print(f"[regress] wrote {path}")
+    if args.baseline:
+        regressions = compare_snapshots(load_snapshot(args.baseline), snapshot)
+        print_report(regressions)
+        return 1 if regressions else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

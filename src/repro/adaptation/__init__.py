@@ -26,6 +26,7 @@ from repro.adaptation.analyzer import (
     Analyzer,
     DeviceLivenessAnalyzer,
     ServiceHealthAnalyzer,
+    SloAlertAnalyzer,
     StaleKnowledgeAnalyzer,
 )
 from repro.adaptation.planner import Plan, Planner, RuleBasedPlanner
@@ -63,6 +64,7 @@ __all__ = [
     "RestartServiceAction",
     "RuleBasedPlanner",
     "ServiceHealthAnalyzer",
+    "SloAlertAnalyzer",
     "StaleKnowledgeAnalyzer",
     "UncertaintyRegistry",
 ]

@@ -94,6 +94,39 @@ class StaleKnowledgeAnalyzer(Analyzer):
         return opened
 
 
+class SloAlertAnalyzer(Analyzer):
+    """Turns SLO breach alerts into issues -- alert-driven adaptation.
+
+    An :class:`~repro.observability.slo.SloMonitor` attached to this
+    loop's knowledge base appends breach alerts to
+    ``knowledge.facts["slo_alerts"]`` during the Monitor phase; this
+    analyzer drains them and opens one issue per alert, using the spec's
+    ``escalation`` as the issue kind so SLO authors choose the
+    countermeasure ladder (e.g. ``device-down`` -> reboot+migrate,
+    ``service-failed`` -> restart ladder, or the generic ``slo-breach``).
+    This is the quantitative close of Fig. 5's loop: goal burn, not just
+    observed symptoms, triggers planning.
+    """
+
+    def analyze(self, knowledge: KnowledgeBase, now: float) -> List[Issue]:
+        alerts = knowledge.facts.pop("slo_alerts", [])
+        opened: List[Issue] = []
+        for alert in alerts:
+            issue = Issue(
+                kind=str(alert.get("escalation") or "slo-breach"),
+                subject=str(alert.get("subject", "")),
+                detected_at=now,
+                severity=int(alert.get("severity", 3)),
+                service=alert.get("service"),
+                detail=(f"SLO {alert.get('slo')!r} burning at "
+                        f"{alert.get('burn_rate')!r} (measured "
+                        f"{alert.get('measured')!r})"),
+            )
+            if knowledge.open_issue(issue):
+                opened.append(issue)
+        return opened
+
+
 class BatteryAnalyzer(Analyzer):
     """Opens ``battery-low`` issues below a threshold fraction."""
 

@@ -85,14 +85,16 @@ class RuleBasedPlanner(Planner):
     # -- rules ----------------------------------------------------------------- #
     def _plan_issue(self, issue: Issue, knowledge: KnowledgeBase) -> List[Action]:
         if issue.kind == "service-failed":
-            key = f"{issue.subject}|{issue.service}"
-            if self._restart_attempts.get(key, 0) < self.max_restarts:
-                return [RestartServiceAction(target=issue.subject, service=issue.service)]
-            destination = self._pick_host(knowledge, exclude=issue.subject)
-            if destination is None:
-                return [RestartServiceAction(target=issue.subject, service=issue.service)]
-            return [MigrateServiceAction(target=issue.subject, service=issue.service,
-                                         destination=destination)]
+            return self._service_repair(issue, knowledge)
+        if issue.kind == "slo-breach":
+            # Alert-driven adaptation: an SLO breach with a named service
+            # enters the restart/migrate ladder; a device-scoped breach
+            # reboots the subject (its availability budget is burning).
+            if issue.service:
+                return self._service_repair(issue, knowledge)
+            if issue.subject:
+                return [RebootDeviceAction(target=issue.subject)]
+            return []
         if issue.kind == "device-down":
             actions: List[Action] = [RebootDeviceAction(target=issue.subject)]
             snapshot = knowledge.snapshot(issue.subject)
@@ -115,6 +117,17 @@ class RuleBasedPlanner(Planner):
         if issue.kind == "knowledge-stale":
             return []
         return []
+
+    def _service_repair(self, issue: Issue, knowledge: KnowledgeBase) -> List[Action]:
+        """Restart in place; escalate to migration after repeated failures."""
+        key = f"{issue.subject}|{issue.service}"
+        if self._restart_attempts.get(key, 0) < self.max_restarts:
+            return [RestartServiceAction(target=issue.subject, service=issue.service)]
+        destination = self._pick_host(knowledge, exclude=issue.subject)
+        if destination is None:
+            return [RestartServiceAction(target=issue.subject, service=issue.service)]
+        return [MigrateServiceAction(target=issue.subject, service=issue.service,
+                                     destination=destination)]
 
     def _pick_host(self, knowledge: KnowledgeBase, exclude: str) -> Optional[str]:
         if self._candidate_hosts is not None:

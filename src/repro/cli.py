@@ -14,6 +14,11 @@ control     Fig. 3: centralized vs decentralized control availability.
 dataflows   Fig. 4: privacy / freshness / availability of replication.
 mape        Fig. 5: MAPE placement vs time-to-repair.
 trace       Run an observed scenario; export spans, Chrome trace, profile.
+monitor     Run a scenario under live SLO evaluation; print resilience
+            KPIs per disruption vector; exit nonzero on SLO breach
+            (CI-gateable).
+report      Run a monitored scenario and write the self-contained HTML
+            resilience report plus a Prometheus metrics exposition.
 all         Every table command above, in order.
 """
 
@@ -61,6 +66,12 @@ def _progress(message: str) -> None:
     """Human-facing progress line; silent under --json."""
     if _JSON_COLLECTOR is None:
         print(message)
+
+
+def _print_data(title: str, data: Dict[str, object]) -> None:
+    """Structured payload: emitted under --json only (tables cover text)."""
+    if _JSON_COLLECTOR is not None:
+        _JSON_COLLECTOR.append({"title": title, "data": data})
 
 
 # --------------------------------------------------------------------------- #
@@ -224,12 +235,14 @@ def cmd_mape(quick: bool) -> None:
 TRACE_SCENARIOS = ("smart-city-partition", "mape-outage")
 
 
-def _run_smart_city_partition(quick: bool):
+def _run_smart_city_partition(quick: bool, setup=None):
     """The canonical observed run: a smart city losing its cloud.
 
     Per-district MAPE loops keep managing through the outage; a service
     failure injected mid-run is repaired by the local loop, and the whole
-    disruption→recovery arc is captured as one span trace.
+    disruption→recovery arc is captured as one span trace.  ``setup`` (if
+    given) is called with ``(system, loops)`` after wiring but before the
+    run -- the attachment point for SLO monitoring.
     """
     from repro.adaptation import (
         DeviceLivenessAnalyzer,
@@ -237,6 +250,7 @@ def _run_smart_city_partition(quick: bool):
         MapeLoop,
         RuleBasedPlanner,
         ServiceHealthAnalyzer,
+        SloAlertAnalyzer,
     )
     from repro.faults.models import PartitionFault, ServiceFailureFault
     from repro.workloads.smart_city import SmartCityWorkload
@@ -247,32 +261,38 @@ def _run_smart_city_partition(quick: bool):
                                  seed=7)
     system = workload.system
     system.enable_observability()
+    loops = []
     for district in range(districts):
         edge = f"edge{district}"
         scope = [edge] + list(system.sites[edge])
-        MapeLoop(
+        loop = MapeLoop(
             system.sim, system.network, system.fleet, edge, scope,
-            analyzers=[ServiceHealthAnalyzer(), DeviceLivenessAnalyzer()],
+            analyzers=[ServiceHealthAnalyzer(), DeviceLivenessAnalyzer(),
+                       SloAlertAnalyzer()],
             planner=RuleBasedPlanner(),
             executor=Executor(system.sim, system.network, system.fleet, edge,
                               system.rngs.stream(f"exec:{edge}"),
                               trace=system.trace),
             period=1.0, metrics=system.metrics, trace=system.trace,
-        ).start()
+        )
+        loop.start()
+        loops.append(loop)
     system.injector.inject_at(10.0, ServiceFailureFault(
         name="svcfail:analytics0", device_id="edge0",
         service_name="traffic-analytics0"))
     system.injector.inject_at(20.0, PartitionFault(
         name="cloud-outage", duration=20.0, isolate_node="cloud"))
+    if setup is not None:
+        setup(system, loops)
     workload.run(60.0)
     return system
 
 
-def _run_mape_outage(quick: bool):
+def _run_mape_outage(quick: bool, setup=None):
     """Fig. 5's edge placement, observed end-to-end."""
     from repro.experiments import run_mape_placement
 
-    system, _ = run_mape_placement("edge", observe=True)
+    system, _ = run_mape_placement("edge", observe=True, setup=setup)
     return system
 
 
@@ -331,6 +351,141 @@ def cmd_trace(quick: bool, scenario: str = "smart-city-partition",
     _progress(f"\nload {chrome_path} in chrome://tracing or https://ui.perfetto.dev")
 
 
+# --------------------------------------------------------------------------- #
+# monitor / report: live SLO evaluation + resilience KPIs
+# --------------------------------------------------------------------------- #
+def _run_monitored(quick: bool, scenario: str, strict: bool):
+    """Run ``scenario`` with an SLO monitor attached; returns (system, monitor).
+
+    The monitor evaluates inside the simulation (period 2s) so breaches
+    land causally among the faults and repairs they concern, and every
+    MAPE loop subscribes to alerts -- SLO burn can trigger adaptation.
+    Edge nodes additionally run a small gossip mesh sharing liveness
+    heartbeats, giving the convergence KPIs a live protocol to measure.
+    """
+    from repro.coordination.gossip import GossipNode
+    from repro.observability.slo import (
+        ReachabilityProbe,
+        SloMonitor,
+        default_slos,
+    )
+
+    holder = {}
+
+    def setup(system, loops) -> None:
+        # Cloud reachability is probed actively: partitions leave the
+        # cloud "up" but unreachable, and only the probe sees that.
+        if system.cloud_node and system.edge_nodes:
+            ReachabilityProbe(system.sim, system.network, system.metrics,
+                              source=system.edge_nodes[0],
+                              target=system.cloud_node,
+                              period=2.0, timeout=1.5).start()
+        specs = default_slos(system, strict=strict,
+                             city=scenario == "smart-city-partition")
+        monitor = SloMonitor(system.sim, system.metrics, specs,
+                             trace=system.trace, period=2.0)
+        for loop in loops:
+            monitor.attach(loop)
+        monitor.start()
+        edges = system.edge_nodes
+        if len(edges) > 1:
+            for edge in edges:
+                gossip = GossipNode(
+                    system.sim, system.network, edge,
+                    [e for e in edges if e != edge],
+                    system.rngs.stream(f"monitor-gossip:{edge}"),
+                    period=2.0)
+                gossip.set(f"alive:{edge}", 1)
+                gossip.start()
+        holder["monitor"] = monitor
+
+    runners = {
+        "smart-city-partition": _run_smart_city_partition,
+        "mape-outage": _run_mape_outage,
+    }
+    system = runners[scenario](quick, setup=setup)
+    monitor = holder["monitor"]
+    monitor.evaluate_now()   # end-of-run evaluation at the final horizon
+    return system, monitor
+
+
+def cmd_monitor(quick: bool, scenario: str = "smart-city-partition",
+                strict: bool = False) -> int:
+    """Run with live SLOs; print KPI tables; exit 1 on any SLO breach."""
+    _progress(f"running monitored scenario {scenario!r}"
+              f"{' (strict SLOs)' if strict else ''}...")
+    system, monitor = _run_monitored(quick, scenario, strict)
+    system.spans.finish_open(system.sim.now)
+    report = system.kpi_report()
+
+    _print_table(
+        f"monitor: resilience KPIs by disruption vector ({scenario}, "
+        f"horizon {system.sim.now:.0f}s)",
+        ["vector", "faults", "resolved", "MTTD mean (s)", "MTTR mean (s)",
+         "msgs/disruption", "disrupted (s)"],
+        report.vector_rows())
+    global_rows = [
+        ["availability (fleet mean)", report.availability],
+        ["availability (worst device)", report.worst_availability],
+        ["degraded device-time (s)", report.degraded_time],
+        ["runtime-monitor violations", report.violations],
+        ["SLO breach alerts", report.alerts],
+    ]
+    for protocol, stats in sorted(report.convergence.items()):
+        global_rows.append([f"convergence: {protocol} mean (s)", stats["mean"]])
+        global_rows.append([f"convergence: {protocol} p95 (s)", stats["p95"]])
+    _print_table("monitor: run-level KPIs", ["KPI", "value"], global_rows)
+    _print_table(
+        "monitor: SLOs",
+        ["SLO", "kind", "objective", "measured", "burn rate", "status"],
+        monitor.table_rows())
+    _print_data("monitor: kpis", report.to_dict())
+    _print_data("monitor: slos", monitor.to_dict())
+    if monitor.ever_breached:
+        _progress(f"\nSLO GATE: FAIL ({monitor.breach_events} breach event(s))")
+        return 1
+    _progress("\nSLO GATE: OK (no objective breached)")
+    return 0
+
+
+def cmd_report(quick: bool, scenario: str = "smart-city-partition",
+               out: str = "trace-out", strict: bool = False) -> int:
+    """Run monitored and write HTML + Prometheus + KPI JSON artifacts."""
+    from repro.observability.export import write_html_report, write_prometheus
+    from repro.observability.kpis import availability_kpis
+
+    _progress(f"running monitored scenario {scenario!r}...")
+    system, monitor = _run_monitored(quick, scenario, strict)
+    system.spans.finish_open(system.sim.now)
+    report = system.kpi_report()
+    availability = availability_kpis(system.metrics, system.sim.now)
+
+    os.makedirs(out, exist_ok=True)
+    html_path = os.path.join(out, "resilience-report.html")
+    prom_path = os.path.join(out, "metrics.prom")
+    kpi_path = os.path.join(out, "kpis.json")
+    histograms = {}
+    if report.repair_latency is not None and report.repair_latency.count:
+        histograms["repair_latency_seconds"] = report.repair_latency
+    n_bytes = write_html_report(
+        html_path, f"Resilience report — {scenario}", report,
+        slo_monitor=monitor,
+        availability_per_device=availability["per_device"])
+    n_lines = write_prometheus(system.metrics, prom_path,
+                               histograms=histograms)
+    with open(kpi_path, "w", encoding="utf-8") as fh:
+        json.dump({"kpis": report.to_dict(), "slos": monitor.to_dict()},
+                  fh, indent=2, sort_keys=True, default=str)
+    _print_table(
+        f"report: {scenario} (horizon {system.sim.now:.0f}s)",
+        ["artifact", "path", "size"],
+        [["HTML resilience report", html_path, f"{n_bytes}B"],
+         ["Prometheus exposition", prom_path, f"{n_lines} lines"],
+         ["KPI/SLO JSON", kpi_path, "-"]])
+    _progress(f"\nopen {html_path} in a browser")
+    return 0
+
+
 COMMANDS: Dict[str, Callable[[bool], None]] = {
     "maturity": cmd_maturity,
     "landscape": cmd_landscape,
@@ -347,20 +502,26 @@ def main(argv: List[str] = None) -> int:
         prog="repro",
         description="Run the resilient-IoT reproduction experiments.",
     )
-    parser.add_argument("command", choices=sorted(COMMANDS) + ["all", "trace"],
+    parser.add_argument("command",
+                        choices=sorted(COMMANDS) + ["all", "trace", "monitor",
+                                                    "report"],
                         help="which experiment to run")
     parser.add_argument("scenario", nargs="?", choices=TRACE_SCENARIOS,
                         default="smart-city-partition",
-                        help="scenario for the trace command")
+                        help="scenario for the trace/monitor/report commands")
     parser.add_argument("--quick", action="store_true",
                         help="smaller/faster variants of the experiments")
     parser.add_argument("--json", action="store_true",
                         help="emit tables as JSON instead of text")
     parser.add_argument("--out", default="trace-out",
-                        help="output directory for trace artifacts")
+                        help="output directory for trace/report artifacts")
+    parser.add_argument("--strict", action="store_true",
+                        help="monitor/report: add strict SLOs (cloud "
+                             "availability) that sustained outages breach")
     args = parser.parse_args(argv)
     if args.json:
         _JSON_COLLECTOR = []
+    exit_code = 0
     try:
         if args.command == "all":
             for name in ("maturity", "landscape", "verify", "control",
@@ -368,14 +529,21 @@ def main(argv: List[str] = None) -> int:
                 COMMANDS[name](args.quick)
         elif args.command == "trace":
             cmd_trace(args.quick, scenario=args.scenario, out=args.out)
+        elif args.command == "monitor":
+            exit_code = cmd_monitor(args.quick, scenario=args.scenario,
+                                    strict=args.strict)
+        elif args.command == "report":
+            exit_code = cmd_report(args.quick, scenario=args.scenario,
+                                   out=args.out, strict=args.strict)
         else:
             COMMANDS[args.command](args.quick)
         if _JSON_COLLECTOR is not None:
-            print(json.dumps({"tables": _JSON_COLLECTOR}, indent=2,
+            print(json.dumps({"tables": _JSON_COLLECTOR,
+                              "exit_code": exit_code}, indent=2,
                              default=str))
     finally:
         _JSON_COLLECTOR = None
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -116,6 +116,17 @@ class IoTSystem:
                                         domain=domain, location=f"site{index}"))
         return system
 
+    def kpi_report(self, horizon: Optional[float] = None):
+        """Resilience KPIs derived from this system's recorded telemetry.
+
+        See :mod:`repro.observability.kpis`; works with observability off
+        (availability/violation KPIs only) or on (full arc/convergence
+        breakdown).  ``horizon`` defaults to the current simulated time.
+        """
+        from repro.observability.kpis import kpi_report_for_system
+
+        return kpi_report_for_system(self, horizon=horizon)
+
     # -- convenience ----------------------------------------------------------- #
     @property
     def edge_nodes(self) -> List[str]:

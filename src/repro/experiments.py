@@ -104,12 +104,15 @@ FIG5_OUTAGE = (30.0, 55.0)
 FIG5_FAULTS = [(10.0, "d0.0"), (40.0, "d1.0")]   # second fault lands mid-outage
 
 
-def run_mape_placement(placement: str, seed: int = 19, observe: bool = False
-                       ) -> Tuple[IoTSystem, List[MapeLoop]]:
+def run_mape_placement(placement: str, seed: int = 19, observe: bool = False,
+                       setup=None) -> Tuple[IoTSystem, List[MapeLoop]]:
     """Fig. 5: identical faults under a cloud-hosted vs edge-hosted loop.
 
     With ``observe``, causal spans and kernel profiling are enabled before
-    anything runs, so the returned system carries a full trace.
+    anything runs, so the returned system carries a full trace.  ``setup``
+    (if given) is called with ``(system, loops)`` after wiring but before
+    the run -- the hook the SLO monitor of ``python -m repro monitor``
+    attaches through.
     """
     if placement not in ("cloud", "edge"):
         raise ValueError(f"unknown placement {placement!r}")
@@ -138,6 +141,8 @@ def run_mape_placement(placement: str, seed: int = 19, observe: bool = False
         system.injector.inject_at(time, ServiceFailureFault(
             name=f"svcfail:{device}", device_id=device,
             service_name=f"svc-{device}"))
+    if setup is not None:
+        setup(system, loops)
     system.run(until=FIG5_HORIZON)
     return system, loops
 

@@ -1,7 +1,8 @@
-"""Observability: causal spans, kernel profiling, exportable telemetry.
+"""Observability: spans, profiling, KPIs, SLOs, exportable telemetry.
 
 The paper's Section VII keeps "models alive at runtime"; this package is
-the instrumentation surface those models are built from:
+both the instrumentation surface those models are built from and the
+quantitative layer monitored against goals:
 
 * :class:`~repro.observability.spans.SpanRecorder` -- causal spans with
   trace/parent links, propagated through the transport, the MAPE loop,
@@ -10,34 +11,81 @@ the instrumentation surface those models are built from:
 * :class:`~repro.observability.instrument.Instrument` -- a kernel profiler
   recording per-event wall-clock cost, per-label counts and queue depth;
   near-zero overhead when detached.
+* :mod:`~repro.observability.kpis` -- resilience KPIs (MTTD/MTTR,
+  availability, convergence, message overhead) derived from recorded
+  telemetry, broken down by the roadmap's five disruption vectors.
+* :mod:`~repro.observability.slo` -- SLO specs evaluated periodically
+  *inside* the simulation; breaches fire alert events and feed the MAPE
+  Monitor phase so goal burn triggers adaptation.
+* :class:`~repro.observability.histogram.StreamingHistogram` --
+  memory-bounded, mergeable latency distributions for million-event runs.
 * :mod:`~repro.observability.export` -- JSONL, Chrome trace-event
-  (Perfetto-loadable), metrics-snapshot and profile writers.
+  (Perfetto-loadable), Prometheus text, HTML report, metrics-snapshot and
+  profile writers.
 
-Enable it on a system with :meth:`repro.core.system.IoTSystem.enable_observability`
-or run ``python -m repro trace <scenario>`` for ready-made artifacts.
+Enable it on a system with :meth:`repro.core.system.IoTSystem.enable_observability`,
+or run ``python -m repro trace <scenario>`` / ``python -m repro monitor
+<scenario>`` for ready-made artifacts.
 """
 
 from repro.observability.export import (
     chrome_trace_events,
+    prometheus_text,
     write_chrome_trace,
     write_events_jsonl,
+    write_html_report,
     write_metrics_snapshot,
     write_profile,
+    write_prometheus,
     write_spans_jsonl,
 )
+from repro.observability.histogram import StreamingHistogram, log_bounds
 from repro.observability.instrument import Instrument, LabelStats
+from repro.observability.kpis import (
+    DisruptionArc,
+    KpiReport,
+    VectorKpis,
+    classify_fault_vector,
+    compute_kpi_report,
+    disruption_arcs,
+    kpi_report_for_system,
+)
+from repro.observability.slo import (
+    ReachabilityProbe,
+    SloMonitor,
+    SloSpec,
+    SloStatus,
+    default_slos,
+)
 from repro.observability.spans import Span, SpanContext, SpanRecorder
 
 __all__ = [
+    "DisruptionArc",
     "Instrument",
+    "KpiReport",
     "LabelStats",
+    "ReachabilityProbe",
+    "SloMonitor",
+    "SloSpec",
+    "SloStatus",
     "Span",
     "SpanContext",
     "SpanRecorder",
+    "StreamingHistogram",
+    "VectorKpis",
     "chrome_trace_events",
+    "classify_fault_vector",
+    "compute_kpi_report",
+    "default_slos",
+    "disruption_arcs",
+    "kpi_report_for_system",
+    "log_bounds",
+    "prometheus_text",
     "write_chrome_trace",
     "write_events_jsonl",
+    "write_html_report",
     "write_metrics_snapshot",
     "write_profile",
+    "write_prometheus",
     "write_spans_jsonl",
 ]

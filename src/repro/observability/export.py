@@ -1,4 +1,4 @@
-"""Exporters: JSONL, Chrome trace-event, metrics and profile snapshots.
+"""Exporters: JSONL, Chrome trace-event, Prometheus, HTML, snapshots.
 
 Spans and trace events are simulator-domain data; these functions turn
 them into artifacts standard tooling reads:
@@ -10,6 +10,11 @@ them into artifacts standard tooling reads:
   ("X") slices on one thread per category, trace events become instants.
   Simulated seconds are mapped to microseconds so one trace-viewer "us"
   equals one simulated microsecond.
+* ``prometheus_text`` / ``write_prometheus`` -- Prometheus text
+  exposition (format 0.0.4) of counters, series summaries and streaming
+  histograms, so a run's final state scrapes into any Prometheus stack.
+* ``write_html_report`` -- a single self-contained HTML file with the
+  KPI tables, SLO statuses and availability bars of one observed run.
 * ``write_metrics_snapshot`` / ``write_profile`` -- JSON dumps of the
   :meth:`MetricsRecorder.snapshot` and :meth:`Instrument.report` dicts.
 
@@ -19,9 +24,12 @@ return the number of records written so CLIs can report artifact sizes.
 
 from __future__ import annotations
 
+import html as _html
 import json
+import re
 from typing import IO, Any, Dict, Iterable, List, Optional, Union
 
+from repro.observability.histogram import StreamingHistogram
 from repro.observability.instrument import Instrument
 from repro.observability.spans import Span
 from repro.simulation.metrics import MetricsRecorder
@@ -156,3 +164,235 @@ def write_profile(instrument: Optional[Instrument], path: PathLike) -> Dict[str,
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True, default=_default)
     return report
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str = "repro_") -> str:
+    """Sanitize a recorder metric name into a Prometheus metric name."""
+    sanitized = _PROM_NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def prometheus_text(
+    metrics: MetricsRecorder,
+    histograms: Optional[Dict[str, StreamingHistogram]] = None,
+    prefix: str = "repro_",
+) -> str:
+    """Render recorder state in the Prometheus text exposition format.
+
+    Counters become ``counter`` metrics; each sample/level series becomes
+    a ``summary`` (count/sum-free: quantile gauges from the recorder's
+    nearest-rank percentiles plus ``_count``); streaming histograms
+    become classic cumulative-``le`` ``histogram`` metrics that
+    downstream aggregation can sum across runs.
+    """
+    lines: List[str] = []
+    for name in metrics.counter_names:
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(metrics.counter(name))}")
+    summaries = metrics.summary(include_counters=False)
+    for name in sorted(summaries):
+        entry = summaries[name]
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for q_label, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            if key in entry:
+                lines.append(
+                    f'{metric}{{quantile="{q_label}"}} {_prom_value(entry[key])}')
+        lines.append(f"{metric}_count {_prom_value(entry['count'])}")
+        for suffix in ("mean", "min", "max"):
+            if suffix in entry:
+                lines.append(
+                    f"{metric}_{suffix} {_prom_value(entry[suffix])}")
+    for name in sorted(histograms or {}):
+        hist = histograms[name]
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, cumulative in zip(hist.bounds, hist.cumulative_counts()):
+            lines.append(
+                f'{metric}_bucket{{le="{_prom_value(bound)}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{metric}_sum {_prom_value(hist.total)}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    metrics: MetricsRecorder,
+    path: PathLike,
+    histograms: Optional[Dict[str, StreamingHistogram]] = None,
+    prefix: str = "repro_",
+) -> int:
+    """Write the Prometheus exposition; returns the number of lines."""
+    text = prometheus_text(metrics, histograms=histograms, prefix=prefix)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text.count("\n")
+
+
+# --------------------------------------------------------------------------- #
+# HTML resilience report
+# --------------------------------------------------------------------------- #
+_HTML_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1a2332; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; margin: 0.75rem 0; }
+th, td { text-align: left; padding: 0.35rem 0.6rem;
+         border-bottom: 1px solid #dde3ea; font-size: 0.9rem; }
+th { background: #f2f5f8; font-weight: 600; }
+.ok { color: #1b7f4d; font-weight: 600; }
+.breach { color: #b3261e; font-weight: 600; }
+.kpi-grid { display: flex; flex-wrap: wrap; gap: 0.75rem; margin: 1rem 0; }
+.kpi { border: 1px solid #dde3ea; border-radius: 0.5rem;
+       padding: 0.6rem 1rem; min-width: 9rem; }
+.kpi .value { font-size: 1.3rem; font-weight: 700; }
+.kpi .label { font-size: 0.75rem; color: #5b6776; text-transform: uppercase; }
+.bar { background: #eef1f5; border-radius: 3px; height: 0.7rem;
+       width: 12rem; display: inline-block; vertical-align: middle; }
+.bar > span { background: #2f6fd6; height: 100%; display: block;
+              border-radius: 3px; }
+footer { margin-top: 2.5rem; font-size: 0.75rem; color: #8a94a1; }
+"""
+
+
+def _html_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return _html.escape(str(value))
+
+
+def _html_table(headers: List[str], rows: List[List[Any]],
+                classes: Optional[List[Optional[str]]] = None) -> str:
+    head = "".join(f"<th>{_html.escape(str(h))}</th>" for h in headers)
+    body = []
+    for i, row in enumerate(rows):
+        cls = classes[i] if classes and i < len(classes) and classes[i] else None
+        attr = f' class="{cls}"' if cls else ""
+        cells = "".join(f"<td>{_html_cell(c)}</td>" for c in row)
+        body.append(f"<tr{attr}>{cells}</tr>")
+    return (f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{''.join(body)}</tbody></table>")
+
+
+def render_html_report(
+    title: str,
+    kpi_report: Any,
+    slo_monitor: Any = None,
+    availability_per_device: Optional[Dict[str, float]] = None,
+) -> str:
+    """Build the self-contained HTML resilience report.
+
+    ``kpi_report`` is a :class:`~repro.observability.kpis.KpiReport`;
+    ``slo_monitor`` (optional) a :class:`~repro.observability.slo.SloMonitor`.
+    Everything (style included) is inlined: the file opens anywhere, no
+    network access, no external assets.
+    """
+    parts: List[str] = []
+    headline = [
+        ("availability", kpi_report.availability, "{:.4f}"),
+        ("worst device", kpi_report.worst_availability, "{:.4f}"),
+        ("degraded time (s)", kpi_report.degraded_time, "{:.1f}"),
+        ("disruptions", len(kpi_report.arcs), "{}"),
+        ("SLO alerts", kpi_report.alerts, "{}"),
+        ("violations", kpi_report.violations, "{}"),
+    ]
+    tiles = []
+    for label, value, fmt in headline:
+        rendered = "-" if value is None else fmt.format(value)
+        tiles.append(f'<div class="kpi"><div class="value">{rendered}</div>'
+                     f'<div class="label">{_html.escape(label)}</div></div>')
+    parts.append(f'<div class="kpi-grid">{"".join(tiles)}</div>')
+
+    parts.append("<h2>Resilience KPIs by disruption vector</h2>")
+    parts.append(_html_table(
+        ["vector", "faults", "resolved", "MTTD mean (s)", "MTTR mean (s)",
+         "msgs/disruption", "disrupted time (s)"],
+        kpi_report.vector_rows()))
+
+    if slo_monitor is not None:
+        parts.append("<h2>SLOs</h2>")
+        rows = slo_monitor.table_rows()
+        classes = ["breach" if row[-1] == "BREACH" else "ok" for row in rows]
+        parts.append(_html_table(
+            ["SLO", "kind", "objective", "measured", "burn rate", "status"],
+            rows, classes=classes))
+        parts.append(
+            f"<p>{slo_monitor.evaluations} evaluations, "
+            f"{slo_monitor.breach_events} breach event(s).</p>")
+
+    if kpi_report.convergence:
+        parts.append("<h2>Protocol convergence</h2>")
+        parts.append(_html_table(
+            ["protocol", "rounds", "mean (s)", "p95 (s)", "max (s)"],
+            [[name, int(stats["rounds"]), stats["mean"], stats["p95"],
+              stats["max"]]
+             for name, stats in sorted(kpi_report.convergence.items())]))
+
+    if availability_per_device:
+        parts.append("<h2>Per-device availability</h2>")
+        bar_rows = []
+        for device, value in sorted(availability_per_device.items()):
+            width = max(0.0, min(1.0, value)) * 100.0
+            bar = (f'<div class="bar"><span style="width:{width:.1f}%">'
+                   f"</span></div> {value:.4f}")
+            bar_rows.append(f"<tr><td>{_html.escape(device)}</td>"
+                            f"<td>{bar}</td></tr>")
+        parts.append("<table><thead><tr><th>device</th><th>availability</th>"
+                     f"</tr></thead><tbody>{''.join(bar_rows)}</tbody></table>")
+
+    if kpi_report.arcs:
+        parts.append("<h2>Disruption arcs</h2>")
+        parts.append(_html_table(
+            ["fault", "vector", "injected at (s)", "MTTD (s)", "MTTR (s)",
+             "messages", "resolved"],
+            [[arc.fault, arc.vector.value, arc.injected_at,
+              "-" if arc.mttd is None else arc.mttd,
+              "-" if arc.mttr is None else arc.mttr,
+              arc.messages, "yes" if arc.resolved else "no"]
+             for arc in kpi_report.arcs]))
+
+    body = "".join(parts)
+    return (
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
+        f"<title>{_html.escape(title)}</title>"
+        f"<style>{_HTML_STYLE}</style></head><body>"
+        f"<h1>{_html.escape(title)}</h1>"
+        f"<p>Simulated horizon: {kpi_report.horizon:.1f}s.</p>"
+        f"{body}"
+        "<footer>Generated by <code>python -m repro report</code> — all data "
+        "derives deterministically from the run's seed.</footer>"
+        "</body></html>"
+    )
+
+
+def write_html_report(
+    path: PathLike,
+    title: str,
+    kpi_report: Any,
+    slo_monitor: Any = None,
+    availability_per_device: Optional[Dict[str, float]] = None,
+) -> int:
+    """Write the HTML resilience report; returns bytes written."""
+    document = render_html_report(
+        title, kpi_report, slo_monitor=slo_monitor,
+        availability_per_device=availability_per_device)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(document)
+    return len(document.encode("utf-8"))

@@ -70,8 +70,19 @@ class Span:
         return self.end is not None
 
     @property
-    def duration(self) -> float:
-        return (self.end - self.start) if self.end is not None else 0.0
+    def duration(self) -> Optional[float]:
+        """Elapsed simulated time, or None while the span is still open.
+
+        None (rather than 0.0) keeps half-finished work out of latency
+        and MTTR aggregates: summing durations of a span set silently
+        treated every open span as free.  Callers that want a value for
+        in-flight spans should use ``duration_or(now)``.
+        """
+        return (self.end - self.start) if self.end is not None else None
+
+    def duration_or(self, now: float) -> float:
+        """Duration for finished spans; elapsed-so-far against ``now`` otherwise."""
+        return (self.end if self.end is not None else float(now)) - self.start
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -109,6 +120,7 @@ class SpanRecorder:
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
         self._spans: List[Span] = []
+        self._by_id: Dict[str, Span] = {}
         self._open: Dict[str, Span] = {}
         self._stack: List[SpanContext] = []
         self._fault_index: Dict[str, Span] = {}
@@ -142,6 +154,7 @@ class SpanRecorder:
         span = Span(name=name, category=category, context=context,
                     start=float(time), attrs=dict(attrs))
         self._spans.append(span)
+        self._by_id[span.span_id] = span
         self._open[span.span_id] = span
         return span
 
@@ -239,21 +252,29 @@ class SpanRecorder:
         ]
 
     def get(self, span_id: str) -> Optional[Span]:
-        for span in self._spans:
-            if span.span_id == span_id:
-                return span
-        return None
+        return self._by_id.get(span_id)
 
     def is_descendant(self, span: Span, ancestor: Span) -> bool:
         """True if ``ancestor`` is on ``span``'s parent chain."""
-        by_id = {s.span_id: s for s in self._spans}
         current: Optional[str] = span.parent_id
         while current is not None:
             if current == ancestor.span_id:
                 return True
-            parent = by_id.get(current)
+            parent = self._by_id.get(current)
             current = parent.parent_id if parent is not None else None
         return False
+
+    def children_index(self) -> Dict[str, List[Span]]:
+        """``parent span_id -> direct children``, in recording order.
+
+        Built fresh per call (the KPI derivation walks it once per
+        report); root spans are not keys.
+        """
+        children: Dict[str, List[Span]] = {}
+        for span in self._spans:
+            if span.parent_id is not None:
+                children.setdefault(span.parent_id, []).append(span)
+        return children
 
     def finish_open(self, time: float, status: str = "truncated") -> int:
         """Close every still-open span (end of run); returns how many."""

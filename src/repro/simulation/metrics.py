@@ -79,6 +79,10 @@ class TimeSeries:
         samples = [v for _, v in self.window(start, end)]
         return max(samples) if samples else None
 
+    def minimum(self, start: float = -math.inf, end: float = math.inf) -> Optional[float]:
+        samples = [v for _, v in self.window(start, end)]
+        return min(samples) if samples else None
+
     # -- level statistics ------------------------------------------------ #
     def value_at(self, time: float) -> Optional[float]:
         """For level series: the value holding at ``time`` (last append <= t)."""
@@ -176,10 +180,12 @@ class MetricsRecorder:
     ) -> Dict[str, Dict[str, float]]:
         """Per-metric summary for reporting.
 
-        Series entries carry ``{count, mean, p95, max}``; counters (which
-        historically were silently dropped) appear as ``{"counter": value}``
-        entries.  Pass ``include_counters=False`` for the series-only view.
-        ``names``, when given, filters both series and counters.
+        Series entries carry ``{count, mean, min, p50, p95, p99, max}`` so
+        KPI and bench reports never recompute percentiles by hand;
+        counters (which historically were silently dropped) appear as
+        ``{"counter": value}`` entries.  Pass ``include_counters=False``
+        for the series-only view.  ``names``, when given, filters both
+        series and counters.
         """
         out: Dict[str, Dict[str, float]] = {}
         for name in names if names is not None else self.series_names:
@@ -187,15 +193,16 @@ class MetricsRecorder:
             if series is None or len(series) == 0:
                 continue
             entry: Dict[str, float] = {"count": float(len(series))}
-            mean = series.mean()
-            if mean is not None:
-                entry["mean"] = mean
-            p95 = series.percentile(95)
-            if p95 is not None:
-                entry["p95"] = p95
-            mx = series.maximum()
-            if mx is not None:
-                entry["max"] = mx
+            for key, value in (
+                ("mean", series.mean()),
+                ("min", series.minimum()),
+                ("p50", series.percentile(50)),
+                ("p95", series.percentile(95)),
+                ("p99", series.percentile(99)),
+                ("max", series.maximum()),
+            ):
+                if value is not None:
+                    entry[key] = value
             out[name] = entry
         if include_counters:
             for name in names if names is not None else self.counter_names:

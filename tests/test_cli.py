@@ -83,3 +83,59 @@ class TestTraceCommand:
         titles = " ".join(t["title"] for t in doc["tables"])
         assert "smart-city-partition" in titles
         assert "causal summary" in titles
+
+
+class TestMonitorCommand:
+    def test_monitor_passes_nonstrict_gate(self, capsys):
+        assert main(["monitor", "smart-city-partition", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience KPIs by disruption vector" in out
+        assert "SLO GATE: OK" in out
+
+    def test_monitor_strict_breaches_and_exits_nonzero(self, capsys):
+        assert main(["monitor", "smart-city-partition", "--quick",
+                     "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "cloud-reachability" in out
+        assert "BREACH" in out
+        assert "SLO GATE: FAIL" in out
+
+    def test_monitor_json_emits_kpis_per_vector(self, capsys):
+        assert main(["--json", "monitor", "smart-city-partition",
+                     "--quick"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["exit_code"] == 0
+        kpis = next(t["data"] for t in doc["tables"]
+                    if t.get("title") == "monitor: kpis")
+        vectors = kpis["vectors"]
+        assert "pervasiveness" in vectors and "services" in vectors
+        arc = vectors["pervasiveness"]
+        assert arc["mttd_mean"] is not None
+        assert arc["mttr_mean"] is not None
+        assert kpis["availability"] is not None
+        assert "convergence" in kpis
+        slos = next(t["data"] for t in doc["tables"]
+                    if t.get("title") == "monitor: slos")
+        assert slos["evaluations"] > 0
+
+    def test_monitor_json_strict_reports_breach_exit(self, capsys):
+        assert main(["--json", "monitor", "smart-city-partition", "--quick",
+                     "--strict"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["exit_code"] == 1
+
+    def test_monitor_mape_outage_scenario(self, capsys):
+        assert main(["monitor", "mape-outage", "--quick"]) == 0
+        assert "SLO GATE: OK" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_writes_artifacts(self, tmp_path, capsys):
+        assert main(["report", "smart-city-partition", "--quick",
+                     "--out", str(tmp_path)]) == 0
+        html = (tmp_path / "resilience-report.html").read_text()
+        assert "<html" in html and "pervasiveness" in html
+        prom = (tmp_path / "metrics.prom").read_text()
+        assert "# TYPE" in prom
+        kpis = json.loads((tmp_path / "kpis.json").read_text())
+        assert "kpis" in kpis and "slos" in kpis

@@ -423,3 +423,50 @@ class TestEnableObservability:
         system = IoTSystem.with_edge_cloud_landscape(2, 1, seed=1)
         system.enable_observability(instrument=False)
         assert system.sim.instrument is None
+
+
+class TestSpanIndexAndDuration:
+    """PR 2 satellites: the persistent by-id index and explicit
+    open-span duration semantics."""
+
+    def test_get_returns_span_by_id(self):
+        recorder = SpanRecorder()
+        spans = [recorder.start(f"s{i}", "test", float(i)) for i in range(50)]
+        for span in spans:
+            assert recorder.get(span.span_id) is span
+        assert recorder.get("nope") is None
+
+    def test_open_span_duration_is_none(self):
+        recorder = SpanRecorder()
+        span = recorder.start("work", "test", 1.0)
+        assert span.duration is None
+        assert span.duration_or(4.0) == 3.0
+        recorder.finish(span, 5.0)
+        assert span.duration == 4.0
+        assert span.duration_or(99.0) == 4.0
+
+    def test_is_descendant_uses_index_after_many_spans(self):
+        recorder = SpanRecorder()
+        root = recorder.start("root", "test", 0.0)
+        node = root
+        chain = [root]
+        for i in range(20):
+            node = recorder.start(f"n{i}", "test", float(i), parent=node)
+            chain.append(node)
+        # Unrelated traffic must not confuse the parent-chain walk.
+        for i in range(100):
+            recorder.start(f"noise{i}", "test", float(i))
+        assert recorder.is_descendant(chain[-1], root)
+        assert recorder.is_descendant(chain[-1], chain[10])
+        assert not recorder.is_descendant(root, chain[-1])
+
+    def test_children_index_groups_by_parent(self):
+        recorder = SpanRecorder()
+        root = recorder.start("root", "test", 0.0)
+        kids = [recorder.start(f"k{i}", "test", 1.0, parent=root)
+                for i in range(3)]
+        grandkid = recorder.start("g", "test", 2.0, parent=kids[0])
+        index = recorder.children_index()
+        assert index[root.span_id] == kids
+        assert index[kids[0].span_id] == [grandkid]
+        assert root.span_id not in index.get(grandkid.span_id, [])

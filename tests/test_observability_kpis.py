@@ -1,0 +1,292 @@
+"""Tests for the quantitative resilience layer: streaming histograms and
+KPI derivation (disruption arcs, vector breakdown, availability,
+convergence) from recorded telemetry."""
+
+import math
+
+import pytest
+
+from repro.core.vectors import DisruptionVector
+from repro.observability.histogram import StreamingHistogram, log_bounds
+from repro.observability.kpis import (
+    aggregate_vectors,
+    availability_kpis,
+    classify_fault_vector,
+    compute_kpi_report,
+    convergence_kpis,
+    disruption_arcs,
+)
+from repro.observability.spans import SpanRecorder
+from repro.simulation.metrics import MetricsRecorder
+from repro.simulation.trace import TraceLog
+
+
+# --------------------------------------------------------------------------- #
+# streaming histogram
+# --------------------------------------------------------------------------- #
+class TestStreamingHistogram:
+    def test_log_bounds_strictly_increasing(self):
+        bounds = log_bounds(1e-3, 1e2, per_decade=3)
+        assert all(b < a for b, a in zip(bounds, bounds[1:]))
+        assert bounds[0] == pytest.approx(1e-3)
+        assert bounds[-1] >= 1e2
+
+    def test_log_bounds_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_bounds(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_bounds(2.0, 1.0)
+        with pytest.raises(ValueError):
+            log_bounds(per_decade=0)
+
+    def test_rejects_non_increasing_bounds(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(bounds=[1.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            StreamingHistogram(bounds=[])
+
+    def test_empty_histogram_statistics_are_none(self):
+        hist = StreamingHistogram()
+        assert hist.count == 0
+        assert hist.min is None and hist.max is None and hist.mean is None
+        assert hist.quantile(0.5) is None
+
+    def test_exact_min_max_mean_survive_bucketing(self):
+        hist = StreamingHistogram(bounds=[1.0, 10.0, 100.0])
+        for value in (0.5, 3.0, 42.0):
+            hist.observe(value)
+        assert hist.min == 0.5
+        assert hist.max == 42.0
+        assert hist.mean == pytest.approx((0.5 + 3.0 + 42.0) / 3)
+
+    def test_overflow_values_are_counted(self):
+        hist = StreamingHistogram(bounds=[1.0, 2.0])
+        hist.observe(5.0)
+        assert hist.overflow == 1
+        assert hist.count == 1
+        assert hist.quantile(1.0) == 5.0  # overflow quantile = observed max
+
+    def test_quantile_is_clamped_to_observed_range(self):
+        hist = StreamingHistogram(bounds=[10.0, 100.0])
+        hist.observe(40.0)
+        hist.observe(60.0)
+        for q in (0.0, 0.5, 1.0):
+            estimate = hist.quantile(q)
+            assert 40.0 <= estimate <= 60.0
+
+    def test_quantile_interpolates_within_bucket(self):
+        hist = StreamingHistogram(bounds=[1.0, 2.0, 3.0, 4.0])
+        # 100 values spread evenly over (2, 3]: the median should land
+        # near the middle of that bucket, not at its edge.
+        for i in range(100):
+            hist.observe(2.0 + (i + 1) / 100.0)
+        assert hist.quantile(0.5) == pytest.approx(2.5, abs=0.25)
+
+    def test_quantile_validates_range(self):
+        hist = StreamingHistogram()
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
+    def test_weighted_observation(self):
+        hist = StreamingHistogram(bounds=[1.0, 2.0])
+        hist.observe(0.5, weight=5)
+        assert hist.count == 5
+        assert hist.total == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            hist.observe(1.0, weight=0)
+
+    def test_merge_adds_counters(self):
+        a = StreamingHistogram(bounds=[1.0, 10.0])
+        b = StreamingHistogram(bounds=[1.0, 10.0])
+        a.observe(0.5)
+        b.observe(5.0)
+        b.observe(50.0)  # overflow
+        a.merge(b)
+        assert a.count == 3
+        assert a.overflow == 1
+        assert a.min == 0.5 and a.max == 50.0
+
+    def test_merge_requires_matching_bounds(self):
+        a = StreamingHistogram(bounds=[1.0, 10.0])
+        b = StreamingHistogram(bounds=[1.0, 20.0])
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_equals_single_stream(self):
+        """Merging shards must be indistinguishable from one stream."""
+        whole = StreamingHistogram()
+        shard1, shard2 = StreamingHistogram(), StreamingHistogram()
+        values = [0.001 * (i + 1) ** 2 for i in range(200)]
+        for i, value in enumerate(values):
+            whole.observe(value)
+            (shard1 if i % 2 else shard2).observe(value)
+        shard1.merge(shard2)
+        assert shard1.counts == whole.counts
+        assert shard1.overflow == whole.overflow
+        assert shard1.quantile(0.9) == whole.quantile(0.9)
+
+    def test_dict_round_trip(self):
+        hist = StreamingHistogram(bounds=[1.0, 10.0, 100.0])
+        for value in (0.5, 5.0, 500.0):
+            hist.observe(value)
+        clone = StreamingHistogram.from_dict(hist.to_dict())
+        assert clone.counts == hist.counts
+        assert clone.overflow == hist.overflow
+        assert clone.min == hist.min and clone.max == hist.max
+        assert clone.quantile(0.5) == hist.quantile(0.5)
+
+    def test_cumulative_counts_monotone(self):
+        hist = StreamingHistogram(bounds=[1.0, 2.0, 3.0])
+        for value in (0.5, 1.5, 2.5, 2.6):
+            hist.observe(value)
+        cumulative = hist.cumulative_counts()
+        assert cumulative == [1, 2, 4]
+
+
+# --------------------------------------------------------------------------- #
+# disruption arcs and vector KPIs
+# --------------------------------------------------------------------------- #
+def _make_arc_spans(recorder: SpanRecorder) -> None:
+    """One partition arc: injected at 10, detected at 13, repaired by 15."""
+    root = recorder.start("fault:outage", "injection", 10.0,
+                          fault_type="PartitionFault")
+    with recorder.use(root):
+        msg = recorder.start("deliver:probe", "message", 12.5)
+        recorder.finish(msg, 12.6)
+        repair = recorder.start("repair:restart", "recovery", 13.0)
+        recorder.finish(repair, 15.0)
+    recorder.finish(root, 30.0, status="reverted")
+
+
+class TestDisruptionArcs:
+    def test_classify_fault_vector(self):
+        assert classify_fault_vector("PartitionFault") is DisruptionVector.PERVASIVENESS
+        assert classify_fault_vector("ServiceFailureFault") is DisruptionVector.SERVICES
+        assert classify_fault_vector("CrashFault") is DisruptionVector.OPERATIONS
+        assert classify_fault_vector("DomainTransferFault") is DisruptionVector.DATA
+        assert classify_fault_vector("SomethingNew") is DisruptionVector.OPERATIONS
+
+    def test_arc_mttd_mttr_from_span_tree(self):
+        recorder = SpanRecorder()
+        _make_arc_spans(recorder)
+        arcs = disruption_arcs(recorder)
+        assert len(arcs) == 1
+        arc = arcs[0]
+        assert arc.vector is DisruptionVector.PERVASIVENESS
+        assert arc.mttd == pytest.approx(3.0)   # 13 - 10
+        assert arc.mttr == pytest.approx(5.0)   # 15 - 10
+        assert arc.messages == 1
+        assert arc.repairs == 1
+        assert arc.resolved
+
+    def test_unrepaired_truncated_arc_is_unresolved(self):
+        recorder = SpanRecorder()
+        root = recorder.start("fault:forever", "injection", 5.0,
+                              fault_type="CrashFault")
+        recorder.finish(root, 60.0, status="truncated")
+        (arc,) = disruption_arcs(recorder)
+        assert not arc.resolved
+        assert arc.mttd is None
+        assert arc.mttr is None
+
+    def test_reverted_arc_without_repairs_uses_root_end(self):
+        recorder = SpanRecorder()
+        root = recorder.start("fault:blip", "injection", 5.0,
+                              fault_type="LinkFailureFault")
+        recorder.finish(root, 8.0, status="reverted")
+        (arc,) = disruption_arcs(recorder)
+        assert arc.resolved
+        assert arc.mttr == pytest.approx(3.0)
+
+    def test_aggregate_groups_by_vector(self):
+        recorder = SpanRecorder()
+        _make_arc_spans(recorder)
+        svc = recorder.start("fault:svc", "injection", 20.0,
+                             fault_type="ServiceFailureFault")
+        recorder.finish(svc, 22.0, status="reverted")
+        vectors = aggregate_vectors(disruption_arcs(recorder))
+        assert set(vectors) == {DisruptionVector.PERVASIVENESS,
+                                DisruptionVector.SERVICES}
+        pervasive = vectors[DisruptionVector.PERVASIVENESS]
+        assert pervasive.faults == 1
+        assert pervasive.mttr_mean == pytest.approx(5.0)
+        assert pervasive.disrupted_time == pytest.approx(5.0)
+
+
+class TestAvailabilityKpis:
+    def test_availability_from_level_series(self):
+        metrics = MetricsRecorder()
+        metrics.set_level("up:d1", 0.0, 1.0)
+        metrics.set_level("up:d1", 50.0, 0.0)   # down for last half
+        metrics.set_level("up:d2", 0.0, 1.0)
+        out = availability_kpis(metrics, horizon=100.0)
+        assert out["per_device"]["d1"] == pytest.approx(0.5)
+        assert out["per_device"]["d2"] == pytest.approx(1.0)
+        assert out["availability"] == pytest.approx(0.75)
+        assert out["worst_availability"] == pytest.approx(0.5)
+        assert out["degraded_time"] == pytest.approx(50.0)
+
+    def test_no_up_series_yields_none(self):
+        out = availability_kpis(MetricsRecorder(), horizon=10.0)
+        assert out["availability"] is None
+        assert out["degraded_time"] == 0.0
+
+
+class TestConvergenceKpis:
+    def test_coordination_spans_bucket_by_protocol(self):
+        recorder = SpanRecorder()
+        for start, duration in ((0.0, 0.2), (1.0, 0.4)):
+            span = recorder.start("gossip:n1", "coordination", start)
+            recorder.finish(span, start + duration)
+        span = recorder.start("election:n2", "coordination", 5.0)
+        recorder.finish(span, 5.5)
+        open_span = recorder.start("gossip:n3", "coordination", 9.0)  # noqa: F841
+        out = convergence_kpis(recorder)
+        assert out["gossip"]["rounds"] == 2.0
+        assert out["gossip"]["mean"] == pytest.approx(0.3)
+        assert out["gossip"]["max"] == pytest.approx(0.4)
+        assert out["election"]["rounds"] == 1.0
+
+
+class TestKpiReport:
+    def test_report_without_spans_still_has_availability(self):
+        metrics = MetricsRecorder()
+        metrics.set_level("up:d1", 0.0, 1.0)
+        report = compute_kpi_report(None, None, metrics, horizon=10.0)
+        assert report.availability == pytest.approx(1.0)
+        assert report.arcs == []
+        assert report.vectors == {}
+        assert report.repair_latency is None
+
+    def test_report_counts_violations_and_alerts(self):
+        trace = TraceLog()
+        trace.emit(1.0, "violation", "goal-miss", subject="g1")
+        trace.emit(2.0, "alert", "slo-breach", subject="edge0")
+        trace.emit(3.0, "alert", "slo-recovered", subject="edge0")
+        report = compute_kpi_report(None, trace, MetricsRecorder(), horizon=5.0)
+        assert report.violations == 1
+        assert report.alerts == 1
+
+    def test_full_report_builds_repair_histogram(self):
+        recorder = SpanRecorder()
+        _make_arc_spans(recorder)
+        report = compute_kpi_report(recorder, TraceLog(), MetricsRecorder(),
+                                    horizon=30.0)
+        assert report.repair_latency.count == 1
+        assert report.repair_latency.max == pytest.approx(5.0)
+        rows = report.vector_rows()
+        assert len(rows) == len(DisruptionVector)
+        labels = [row[0] for row in rows]
+        assert "pervasiveness" in labels and "verification" in labels
+
+    def test_report_to_dict_is_json_shaped(self):
+        recorder = SpanRecorder()
+        _make_arc_spans(recorder)
+        report = compute_kpi_report(recorder, TraceLog(), MetricsRecorder(),
+                                    horizon=30.0)
+        data = report.to_dict()
+        assert data["vectors"]["pervasiveness"]["faults"] == 1
+        assert data["arcs"][0]["mttr"] == pytest.approx(5.0)
+        assert data["repair_latency"]["count"] == 1

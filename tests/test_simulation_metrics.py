@@ -207,3 +207,69 @@ class TestMetricsRecorder:
 
     def test_snapshot_empty_recorder(self, metrics):
         assert metrics.snapshot() == {"series": {}, "counters": {}}
+
+
+class TestTimeSeriesBoundaries:
+    """Boundary semantics of window/value_at, pinned as contracts: the
+    SLO monitor's trailing windows and the KPI layer both depend on
+    half-open windows and last-write-wins level reads."""
+
+    def test_window_includes_start_excludes_end(self):
+        series = TimeSeries("s")
+        for t in (1.0, 2.0, 3.0):
+            series.append(t, t)
+        assert series.window(1.0, 3.0) == [(1.0, 1.0), (2.0, 2.0)]
+        assert series.window(3.0, 3.0) == []
+        assert series.window(0.0, 1.0) == []
+
+    def test_window_with_duplicate_timestamps_keeps_all(self):
+        series = TimeSeries("s")
+        series.append(1.0, 10.0)
+        series.append(1.0, 20.0)
+        series.append(2.0, 30.0)
+        assert series.window(1.0, 2.0) == [(1.0, 10.0), (1.0, 20.0)]
+
+    def test_value_at_before_first_observation_is_none(self):
+        series = TimeSeries("s", kind="level")
+        series.append(5.0, 1.0)
+        assert series.value_at(4.999) is None
+
+    def test_value_at_exact_time_sees_the_new_value(self):
+        series = TimeSeries("s", kind="level")
+        series.append(5.0, 1.0)
+        series.append(10.0, 0.0)
+        assert series.value_at(5.0) == 1.0
+        assert series.value_at(10.0) == 0.0
+        assert series.value_at(9.999) == 1.0
+
+    def test_value_at_duplicate_time_last_write_wins(self):
+        series = TimeSeries("s", kind="level")
+        series.append(5.0, 1.0)
+        series.append(5.0, 0.0)
+        assert series.value_at(5.0) == 0.0
+
+    def test_minimum_over_window(self):
+        series = TimeSeries("s")
+        for t, v in [(0.0, 3.0), (1.0, 7.0), (2.0, 5.0)]:
+            series.append(t, v)
+        assert series.minimum() == 3.0
+        assert series.minimum(1.0, 3.0) == 5.0
+        assert series.minimum(10.0, 20.0) is None
+
+
+class TestSummaryPercentiles:
+    def test_summary_reports_min_p50_p99(self, metrics):
+        for i in range(100):
+            metrics.record("lat", float(i), float(i))
+        entry = metrics.summary()["lat"]
+        assert entry["min"] == 0.0
+        assert entry["p50"] == 49.0
+        assert entry["p95"] == 94.0
+        assert entry["p99"] == 98.0
+        assert entry["max"] == 99.0
+        assert entry["count"] == 100.0
+
+    def test_summary_single_sample_has_consistent_stats(self, metrics):
+        metrics.record("lat", 0.0, 42.0)
+        entry = metrics.summary()["lat"]
+        assert entry["min"] == entry["p50"] == entry["p99"] == entry["max"] == 42.0
