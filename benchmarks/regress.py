@@ -157,11 +157,58 @@ def bench_histogram(quick: bool) -> Dict[str, float]:
     }
 
 
+def bench_persistence(quick: bool) -> Dict[str, float]:
+    """Checkpoint/resume/replay overhead and end-to-end determinism.
+
+    Runs the control-outage scenario uninterrupted, then interrupted at
+    mid-horizon + resumed, and replays the resumed journal.  Timings and
+    checkpoint size come from the persistence telemetry series; the
+    digest/replay metrics are deterministic and must stay bit-identical.
+    """
+    import shutil
+    import tempfile
+
+    from repro.persistence import (
+        ScenarioSpec,
+        replay_journal,
+        resume_run,
+        run_scenario,
+        run_to_checkpoint,
+    )
+
+    spec = ScenarioSpec(name="control-outage", seed=11)
+    tmp = tempfile.mkdtemp(prefix="bench-persistence-")
+    started = time.perf_counter()
+    try:
+        reference = run_scenario(
+            spec, journal_path=os.path.join(tmp, "reference.jsonl"))
+        interrupted = run_to_checkpoint(spec, tmp, at=45.0)
+        metrics = interrupted.system.metrics
+        save_s = metrics.series("persistence.checkpoint.save_s").values[-1]
+        size_b = metrics.series("persistence.checkpoint.bytes").values[-1]
+        resumed = resume_run(directory=tmp)
+        replay = replay_journal(os.path.join(tmp, "journal.jsonl"))
+        return {
+            "wall_s": time.perf_counter() - started,
+            "save.wall_s": float(save_s),
+            "restore.wall_s": float(resumed.fast_forward_s),
+            "checkpoint_bytes": float(size_b),
+            "fired_at_checkpoint": float(interrupted.checkpoint.fired),
+            "fired_total": float(resumed.system.sim.fired_count),
+            "digest_match": float(
+                resumed.final_digest == reference.final_digest),
+            "replay_ok": float(replay.ok),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
     "smart_city": bench_smart_city,
     "mape_outage": bench_mape_outage,
     "kernel": bench_kernel,
     "histogram": bench_histogram,
+    "persistence": bench_persistence,
 }
 
 

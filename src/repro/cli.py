@@ -19,6 +19,15 @@ monitor     Run a scenario under live SLO evaluation; print resilience
             (CI-gateable).
 report      Run a monitored scenario and write the self-contained HTML
             resilience report plus a Prometheus metrics exposition.
+checkpoint  Run a persistence scenario up to ``--at`` (or its first
+            harness crash), journaling every event, and save a resumable
+            checkpoint into ``--out``.
+resume      Load the checkpoint in ``--out``, fast-forward deterministically
+            to the saved point, verify the state digest, and run to the
+            horizon -- the journal continues where it left off.
+replay      Re-run the scenario recorded in ``--out``'s journal from its
+            seed and compare every event and state digest; on divergence,
+            write a divergence report and exit nonzero.
 all         Every table command above, in order.
 """
 
@@ -486,6 +495,102 @@ def cmd_report(quick: bool, scenario: str = "smart-city-partition",
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# checkpoint / resume / replay: crash-resilient persistence
+# --------------------------------------------------------------------------- #
+def cmd_checkpoint(quick: bool, scenario: str = "control-outage",
+                   out: str = "checkpoint-out", at: Optional[float] = None,
+                   seed: Optional[int] = None) -> int:
+    from repro.persistence import ScenarioSpec, default_paths, run_to_checkpoint
+
+    _progress(f"running {scenario!r} to its checkpoint point...")
+    spec = ScenarioSpec(name=scenario, seed=seed)
+    result = run_to_checkpoint(spec, out, at=at)
+    checkpoint = result.checkpoint
+    paths = default_paths(out)
+    checkpoint_path, journal_path = paths["checkpoint"], paths["journal"]
+    _print_table(
+        f"checkpoint: {scenario}",
+        ["field", "value"],
+        [["checkpoint", checkpoint_path],
+         ["journal", journal_path],
+         ["simulated time (s)", checkpoint.time],
+         ["events fired", checkpoint.fired],
+         ["state digest", checkpoint.digest],
+         ["checkpoint size (B)", os.path.getsize(checkpoint_path)]])
+    _print_data("checkpoint", {
+        "scenario": checkpoint.scenario, "time": checkpoint.time,
+        "fired": checkpoint.fired, "digest": checkpoint.digest,
+        "path": checkpoint_path, "journal": journal_path,
+    })
+    _progress(f"\nresume with: python -m repro resume --out {out}")
+    return 0
+
+
+def cmd_resume(quick: bool, out: str = "checkpoint-out",
+               until: Optional[float] = None) -> int:
+    from repro.persistence import resume_run
+
+    _progress(f"resuming from checkpoint in {out!r}...")
+    result = resume_run(directory=out, until=until)
+    system = result.system
+    report = system.kpi_report()
+    _print_table(
+        f"resume: {result.spec.name} (horizon {system.sim.now:.0f}s)",
+        ["field", "value"],
+        [["fast-forwarded events", result.fast_forward_events],
+         ["fast-forward wall time (s)", result.fast_forward_s],
+         ["events fired (total)", system.sim.fired_count],
+         ["final state digest", result.final_digest],
+         ["journal", result.journal_path]])
+    _print_table(
+        "resume: resilience KPIs by disruption vector",
+        ["vector", "faults", "resolved", "MTTD mean (s)", "MTTR mean (s)",
+         "msgs/disruption", "disrupted (s)"],
+        report.vector_rows())
+    _print_data("resume: kpis", report.to_dict())
+    return 0
+
+
+def cmd_replay(quick: bool, out: str = "checkpoint-out",
+               until: Optional[float] = None) -> int:
+    from repro.persistence import (
+        default_paths,
+        replay_journal,
+        write_divergence_report,
+    )
+
+    paths = default_paths(out)
+    journal_path, divergence_path = paths["journal"], paths["divergence"]
+    _progress(f"replaying journal {journal_path!r} from its seed...")
+    report = replay_journal(journal_path, until=until)
+    rows = [
+        ["scenario", report.scenario.get("name", "?")],
+        ["journal records checked", report.records_checked],
+        ["events replayed", report.events_replayed],
+        ["journal complete", report.journal_complete],
+        ["verdict", "MATCH" if report.ok else "DIVERGED"],
+    ]
+    if report.divergence is not None:
+        d = report.divergence
+        rows.extend([
+            ["divergence at record", d.index],
+            ["divergence at event", d.fired],
+            ["divergence at time (s)", d.time],
+            ["diverging field", d.field],
+            ["recorded", str(d.recorded)],
+            ["replayed", str(d.replayed)],
+        ])
+    _print_table("replay: deterministic verification", ["field", "value"], rows)
+    _print_data("replay", report.to_dict())
+    if not report.ok:
+        write_divergence_report(report, divergence_path)
+        _progress(f"\nREPLAY GATE: FAIL (divergence report: {divergence_path})")
+        return 1
+    _progress("\nREPLAY GATE: OK (journal matches deterministic re-run)")
+    return 0
+
+
 COMMANDS: Dict[str, Callable[[bool], None]] = {
     "maturity": cmd_maturity,
     "landscape": cmd_landscape,
@@ -498,27 +603,61 @@ COMMANDS: Dict[str, Callable[[bool], None]] = {
 
 def main(argv: List[str] = None) -> int:
     global _JSON_COLLECTOR
+    from repro.persistence import scenario_names
+
+    persistence_scenarios = tuple(scenario_names())
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Run the resilient-IoT reproduction experiments.",
     )
     parser.add_argument("command",
                         choices=sorted(COMMANDS) + ["all", "trace", "monitor",
-                                                    "report"],
+                                                    "report", "checkpoint",
+                                                    "resume", "replay"],
                         help="which experiment to run")
-    parser.add_argument("scenario", nargs="?", choices=TRACE_SCENARIOS,
-                        default="smart-city-partition",
-                        help="scenario for the trace/monitor/report commands")
+    parser.add_argument("scenario", nargs="?",
+                        choices=sorted(set(TRACE_SCENARIOS)
+                                       | set(persistence_scenarios)),
+                        default=None,
+                        help="scenario for the trace/monitor/report/"
+                             "checkpoint commands")
     parser.add_argument("--quick", action="store_true",
                         help="smaller/faster variants of the experiments")
     parser.add_argument("--json", action="store_true",
                         help="emit tables as JSON instead of text")
-    parser.add_argument("--out", default="trace-out",
-                        help="output directory for trace/report artifacts")
+    parser.add_argument("--out", default=None,
+                        help="output directory for trace/report/checkpoint "
+                             "artifacts")
     parser.add_argument("--strict", action="store_true",
                         help="monitor/report: add strict SLOs (cloud "
                              "availability) that sustained outages breach")
+    parser.add_argument("--at", type=float, default=None,
+                        help="checkpoint: simulated time to checkpoint at "
+                             "(default: the scenario's crash point or "
+                             "mid-horizon)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="checkpoint: override the scenario seed")
+    parser.add_argument("--until", type=float, default=None,
+                        help="resume/replay: stop at this simulated time "
+                             "instead of the scenario horizon")
     args = parser.parse_args(argv)
+    if args.command in ("trace", "monitor", "report"):
+        if args.scenario is None:
+            args.scenario = "smart-city-partition"
+        elif args.scenario not in TRACE_SCENARIOS:
+            parser.error(f"scenario {args.scenario!r} is not available for "
+                         f"{args.command!r} (choose from {TRACE_SCENARIOS})")
+    elif args.command == "checkpoint":
+        if args.scenario is None:
+            args.scenario = "control-outage"
+        elif args.scenario not in persistence_scenarios:
+            parser.error(f"scenario {args.scenario!r} is not available for "
+                         "'checkpoint' (choose from "
+                         f"{persistence_scenarios})")
+    if args.out is None:
+        args.out = ("checkpoint-out"
+                    if args.command in ("checkpoint", "resume", "replay")
+                    else "trace-out")
     if args.json:
         _JSON_COLLECTOR = []
     exit_code = 0
@@ -535,6 +674,14 @@ def main(argv: List[str] = None) -> int:
         elif args.command == "report":
             exit_code = cmd_report(args.quick, scenario=args.scenario,
                                    out=args.out, strict=args.strict)
+        elif args.command == "checkpoint":
+            exit_code = cmd_checkpoint(args.quick, scenario=args.scenario,
+                                       out=args.out, at=args.at,
+                                       seed=args.seed)
+        elif args.command == "resume":
+            exit_code = cmd_resume(args.quick, out=args.out, until=args.until)
+        elif args.command == "replay":
+            exit_code = cmd_replay(args.quick, out=args.out, until=args.until)
         else:
             COMMANDS[args.command](args.quick)
         if _JSON_COLLECTOR is not None:

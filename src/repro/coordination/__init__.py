@@ -27,13 +27,19 @@ from repro.coordination.gossip import GossipNode, GossipValue
 from repro.coordination.election import BullyElection
 from repro.coordination.raft import RaftNode, RaftRole, RaftCluster
 from repro.coordination.registry import ServiceRegistry, ServiceRecord
-from repro.coordination.lease import LeaseManager, LeaseState, start_lease_keeper
+from repro.coordination.lease import (
+    LeaseKeeper,
+    LeaseManager,
+    LeaseState,
+    start_lease_keeper,
+)
 
 __all__ = [
     "BullyElection",
     "GossipNode",
     "GossipValue",
     "HeartbeatFailureDetector",
+    "LeaseKeeper",
     "LeaseManager",
     "LeaseState",
     "MemberState",

@@ -17,9 +17,10 @@ the quorum) loses the lease after ``duration`` of log-time silence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.coordination.raft import RaftNode
+from repro.persistence.snapshot import event_ref, restore_event_ref
 from repro.simulation.kernel import Simulator
 
 
@@ -142,24 +143,87 @@ class LeaseManager:
             return 0.0
         return max(0.0, state.expires_at - self.sim.now)
 
+    # -- persistence ----------------------------------------------------------#
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Lease state machine only; the underlying RaftNode snapshots
+        itself separately."""
+        return {
+            "leases": {
+                name: {"holder": s.holder, "granted_at": s.granted_at,
+                       "expires_at": s.expires_at}
+                for name, s in sorted(self._leases.items())
+            },
+            "commands_applied": self.commands_applied,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._leases = {
+            name: LeaseState(holder=s["holder"],
+                             granted_at=float(s["granted_at"]),
+                             expires_at=float(s["expires_at"]))
+            for name, s in state["leases"].items()
+        }
+        self.commands_applied = int(state["commands_applied"])
+
+
+class LeaseKeeper:
+    """Background routine: try to acquire the lease when free, renew while
+    held.  Run one keeper per participant and exactly one valid holder
+    emerges (ties are serialized by the Raft log)."""
+
+    def __init__(self, sim: Simulator, manager: LeaseManager, lease: str,
+                 period: float = 2.0) -> None:
+        self.sim = sim
+        self.manager = manager
+        self.lease = lease
+        self.period = period
+        self._tick_event = None
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._tick_event = self.sim.schedule(
+            self.period, self._tick,
+            label=f"lease-keeper:{self.manager.raft.node_id}")
+
+    def stop(self) -> None:
+        self._running = False
+        if self._tick_event is not None:
+            self.sim.cancel(self._tick_event)
+            self._tick_event = None
+
+    def _tick(self, sim: Simulator) -> None:
+        if not self._running:
+            return
+        manager = self.manager
+        if manager.raft.is_leader:
+            holder = manager.holder_of(self.lease)
+            if holder is None:
+                manager.acquire(self.lease)
+            elif holder == manager.raft.node_id:
+                manager.renew(self.lease)
+        self._tick_event = sim.schedule(
+            self.period, self._tick,
+            label=f"lease-keeper:{manager.raft.node_id}")
+
+    # -- persistence ----------------------------------------------------------#
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"running": self._running, "tick": event_ref(self._tick_event)}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._running = bool(state["running"])
+        self._tick_event = restore_event_ref(self.sim, state["tick"], self._tick)
+
 
 def start_lease_keeper(
     sim: Simulator,
     manager: LeaseManager,
     lease: str,
     period: float = 2.0,
-) -> None:
-    """Background routine: try to acquire the lease when free, renew while
-    held.  Run one keeper per participant and exactly one valid holder
-    emerges (ties are serialized by the Raft log)."""
-
-    def tick(s: Simulator) -> None:
-        if manager.raft.is_leader:
-            holder = manager.holder_of(lease)
-            if holder is None:
-                manager.acquire(lease)
-            elif holder == manager.raft.node_id:
-                manager.renew(lease)
-        s.schedule(period, tick, label=f"lease-keeper:{manager.raft.node_id}")
-
-    sim.schedule(period, tick, label=f"lease-keeper:{manager.raft.node_id}")
+) -> LeaseKeeper:
+    """Start (and return) a :class:`LeaseKeeper` for one participant."""
+    keeper = LeaseKeeper(sim, manager, lease, period=period)
+    keeper.start()
+    return keeper

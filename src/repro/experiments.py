@@ -45,9 +45,15 @@ def _make_loop(system: IoTSystem, host: str, scope: List[str],
     )
 
 
-def run_control_architecture(architecture: str, seed: int = 11
-                             ) -> Tuple[IoTSystem, List[MapeLoop]]:
-    """Fig. 3: run the landscape under one control-plane architecture."""
+def prepare_control_architecture(architecture: str, seed: int = 11
+                                 ) -> Tuple[IoTSystem, List[MapeLoop]]:
+    """Wire (but do not run) the Fig. 3 control-architecture comparison.
+
+    The split from :func:`run_control_architecture` exists for the
+    persistence subsystem: a rebuildable scenario must be constructable
+    without running it, so checkpoints can be resumed and journals
+    replayed from the same wiring.
+    """
     if architecture not in ("centralized", "decentralized"):
         raise ValueError(f"unknown architecture {architecture!r}")
     system = IoTSystem.with_edge_cloud_landscape(FIG3_N_SITES, FIG3_DEVICES,
@@ -65,6 +71,13 @@ def run_control_architecture(architecture: str, seed: int = 11
     system.injector.inject_at(FIG3_OUTAGE[0], PartitionFault(
         name="cloud-outage", duration=FIG3_OUTAGE[1] - FIG3_OUTAGE[0],
         isolate_node="cloud"))
+    return system, loops
+
+
+def run_control_architecture(architecture: str, seed: int = 11
+                             ) -> Tuple[IoTSystem, List[MapeLoop]]:
+    """Fig. 3: run the landscape under one control-plane architecture."""
+    system, loops = prepare_control_architecture(architecture, seed=seed)
     system.run(until=FIG3_HORIZON)
     return system, loops
 
@@ -104,15 +117,18 @@ FIG5_OUTAGE = (30.0, 55.0)
 FIG5_FAULTS = [(10.0, "d0.0"), (40.0, "d1.0")]   # second fault lands mid-outage
 
 
-def run_mape_placement(placement: str, seed: int = 19, observe: bool = False,
-                       setup=None) -> Tuple[IoTSystem, List[MapeLoop]]:
-    """Fig. 5: identical faults under a cloud-hosted vs edge-hosted loop.
+def prepare_mape_placement(placement: str, seed: int = 19,
+                           observe: bool = False, setup=None
+                           ) -> Tuple[IoTSystem, List[MapeLoop]]:
+    """Wire (but do not run) the Fig. 5 placement comparison.
 
     With ``observe``, causal spans and kernel profiling are enabled before
     anything runs, so the returned system carries a full trace.  ``setup``
     (if given) is called with ``(system, loops)`` after wiring but before
     the run -- the hook the SLO monitor of ``python -m repro monitor``
-    attaches through.
+    attaches through.  Like :func:`prepare_control_architecture`, the
+    prepare/run split makes the scenario rebuildable for checkpoint
+    resume and journal replay.
     """
     if placement not in ("cloud", "edge"):
         raise ValueError(f"unknown placement {placement!r}")
@@ -143,6 +159,14 @@ def run_mape_placement(placement: str, seed: int = 19, observe: bool = False,
             service_name=f"svc-{device}"))
     if setup is not None:
         setup(system, loops)
+    return system, loops
+
+
+def run_mape_placement(placement: str, seed: int = 19, observe: bool = False,
+                       setup=None) -> Tuple[IoTSystem, List[MapeLoop]]:
+    """Fig. 5: identical faults under a cloud-hosted vs edge-hosted loop."""
+    system, loops = prepare_mape_placement(placement, seed=seed,
+                                           observe=observe, setup=setup)
     system.run(until=FIG5_HORIZON)
     return system, loops
 

@@ -180,6 +180,24 @@ class BatteryDepletionFault(Fault):
 
 
 @dataclass
+class HarnessCrashFault(Fault):
+    """The experiment process itself dies mid-run (crash-resilient sweeps).
+
+    Unlike every other fault, the adverse event is not inside the modeled
+    system but in the *harness* running it: the kernel stops after the
+    current event, exactly as if the driving process had been killed.  The
+    persistence subsystem (:mod:`repro.persistence`) checkpoints at the
+    stop and resumes later; a reference driver that ignores the stop
+    produces the identical event stream, which is what makes crashed-and-
+    resumed runs verifiable against uninterrupted ones.
+    """
+
+    def apply(self, injector) -> None:
+        injector.trace_emit("fault", "harness-crash", subject="harness")
+        injector.sim.stop()
+
+
+@dataclass
 class DomainTransferFault(Fault):
     """Transfer a device to a different administrative domain (§I)."""
 

@@ -1,0 +1,164 @@
+"""Append-only JSONL event journal (write-ahead log).
+
+One line per record, flushed as written so a crashed run leaves a valid
+prefix on disk.  Record shapes:
+
+* ``{"type": "header", "version": 1, "scenario": {...}, "digest_every": N}``
+  -- exactly one, first line.
+* ``{"type": "event", "i": <fired index>, "t": <sim time>, "label": ...}``
+  -- one per fired kernel event.
+* ``{"type": "digest", "i": ..., "t": ..., "digest": "<sha256>"}``
+  -- the whole-system digest, every ``digest_every`` events.
+* ``{"type": "end", "i": ..., "t": ..., "digest": ...}`` -- written by a
+  clean close; its absence marks an interrupted run.
+
+The journal is both the recovery log (``truncate`` drops records past a
+checkpoint barrier so a resumed run appends from exactly there) and the
+replay oracle (:mod:`repro.persistence.replay` re-runs the scenario and
+compares record-by-record).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(ValueError):
+    """Raised for malformed, incompatible or misused journals."""
+
+
+@dataclass
+class JournalRecords:
+    """A fully parsed journal."""
+
+    header: Dict[str, Any]
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when the run closed cleanly (trailing ``end`` record)."""
+        return bool(self.records) and self.records[-1].get("type") == "end"
+
+    @property
+    def scenario(self) -> Dict[str, Any]:
+        return self.header.get("scenario", {})
+
+    @property
+    def digest_every(self) -> int:
+        return int(self.header.get("digest_every", 0))
+
+    def digests(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r.get("type") in ("digest", "end")]
+
+    def events(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r.get("type") == "event"]
+
+
+class JournalWriter:
+    """Flushing JSONL writer bound to one run.
+
+    ``append=True`` (the resume path) expects the header to already be on
+    disk and continues after the existing records; use :func:`truncate`
+    first to drop any records written past the checkpoint barrier by the
+    crashed run.
+    """
+
+    def __init__(self, path: str, scenario: Optional[Dict[str, Any]] = None,
+                 digest_every: int = 25, append: bool = False) -> None:
+        self.path = path
+        self.digest_every = digest_every
+        self.records_written = 0
+        if append:
+            existing = read_journal(path)
+            self.digest_every = existing.digest_every
+            self.records_written = len(existing.records)
+            self._fh = open(path, "a", encoding="utf-8")
+        else:
+            self._fh = open(path, "w", encoding="utf-8")
+            self._write({"type": "header", "version": JOURNAL_VERSION,
+                         "scenario": scenario or {},
+                         "digest_every": digest_every})
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    # -- records ------------------------------------------------------------ #
+    def append_event(self, index: int, time: float, label: str) -> None:
+        self._write({"type": "event", "i": index, "t": time, "label": label})
+        self.records_written += 1
+
+    def append_digest(self, index: int, time: float, digest: str) -> None:
+        self._write({"type": "digest", "i": index, "t": time, "digest": digest})
+        self.records_written += 1
+
+    def close(self, index: int, time: float, digest: str) -> None:
+        """Mark a clean end of run and close the file."""
+        self._write({"type": "end", "i": index, "t": time, "digest": digest})
+        self._fh.close()
+
+    def abandon(self) -> None:
+        """Close the file handle without an ``end`` record (crash path)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+
+# --------------------------------------------------------------------------- #
+# Reading and recovery
+# --------------------------------------------------------------------------- #
+def read_journal(path: str) -> JournalRecords:
+    """Parse a journal file; tolerates a torn final line (crash artifact)."""
+    header: Optional[Dict[str, Any]] = None
+    records: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn trailing line is the signature of a mid-write
+                # crash: everything before it is a valid prefix.
+                break
+            if lineno == 0:
+                if record.get("type") != "header":
+                    raise JournalError(f"{path}: first record is not a header")
+                if record.get("version") != JOURNAL_VERSION:
+                    raise JournalError(
+                        f"{path}: unsupported journal version "
+                        f"{record.get('version')!r} (want {JOURNAL_VERSION})")
+                header = record
+            else:
+                records.append(record)
+    if header is None:
+        raise JournalError(f"{path}: empty or headerless journal")
+    return JournalRecords(header=header, records=records)
+
+
+def truncate(path: str, fired: int) -> int:
+    """Drop records past the checkpoint barrier ``fired``; returns kept count.
+
+    Classic WAL recovery: a crashed run may have journaled events beyond
+    the last durable checkpoint, and the resumed run will re-produce them.
+    Also drops any ``end`` record -- a truncated run is by definition not
+    cleanly closed.
+    """
+    journal = read_journal(path)
+    kept = [r for r in journal.records
+            if r.get("type") != "end" and int(r.get("i", 0)) <= fired]
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(journal.header, sort_keys=True,
+                            separators=(",", ":")) + "\n")
+        for record in kept:
+            fh.write(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+    os.replace(tmp, path)
+    return len(kept)

@@ -1,0 +1,294 @@
+"""Drivers that journal, checkpoint and resume scenario runs.
+
+The runner is the glue between the declarative scenario registry and the
+persistence primitives:
+
+* :class:`RunRecorder` hooks the kernel's ``on_event`` observer and writes
+  one journal record per fired event plus a whole-system digest every
+  ``digest_every`` events.
+* :func:`run_scenario` performs an uninterrupted, journaled reference run.
+* :func:`run_to_checkpoint` runs to a barrier (an explicit ``--at`` time or
+  the first kernel stop, e.g. a :class:`~repro.faults.models.HarnessCrashFault`)
+  and saves a checkpoint plus the journal prefix, *without* an ``end``
+  record -- exactly what a crashed experiment leaves behind.
+* :func:`resume_run` rebuilds the scenario from the checkpoint's spec,
+  deterministically fast-forwards to the barrier, verifies the
+  whole-system digest, truncates the journal to the barrier and continues
+  to the horizon.  A resumed run's journal is byte-identical to an
+  uninterrupted run's.
+
+Checkpoints are taken *between* kernel events (the driver calls
+``run(until=T)`` and then saves), never as scheduled events, so the act of
+checkpointing cannot perturb the journaled event stream.
+
+Persistence telemetry (save/restore latency, checkpoint size) is recorded
+as metric *sample series* and spans only -- never counters or trace
+events, because those feed the system digest and would make a resumed run
+diverge from the uninterrupted reference by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, Optional
+
+from repro.persistence.checkpoint import Checkpoint, CheckpointError, default_paths
+from repro.persistence.journal import JournalWriter, truncate
+from repro.persistence.scenarios import PreparedRun, ScenarioSpec, prepare
+from repro.persistence.snapshot import system_digest, system_snapshot
+
+
+class RunRecorder:
+    """Observes a live system and journals its event stream.
+
+    Attaches to ``sim.on_event`` (called after each event's callback
+    returns, so digests see the post-event state).  Detach with
+    :meth:`finish` (clean close, writes the ``end`` record) or
+    :meth:`abandon` (interrupted run, leaves the journal open-ended).
+    """
+
+    def __init__(self, system: Any, journal: Optional[JournalWriter] = None,
+                 digest_every: int = 25) -> None:
+        self.system = system
+        self.journal = journal
+        self.digest_every = (journal.digest_every if journal is not None
+                             else digest_every)
+        self.last_digest: Optional[Dict[str, Any]] = None
+        self._prev_observer = system.sim.on_event
+        system.sim.on_event = self._on_event
+
+    def _on_event(self, event: Any) -> None:
+        sim = self.system.sim
+        index = sim.fired_count
+        if self.journal is not None:
+            self.journal.append_event(index, sim.now, event.label)
+        if self.digest_every and index % self.digest_every == 0:
+            digest = system_digest(self.system)
+            self.last_digest = {"i": index, "t": sim.now, "digest": digest}
+            if self.journal is not None:
+                self.journal.append_digest(index, sim.now, digest)
+
+    def detach(self) -> None:
+        self.system.sim.on_event = self._prev_observer
+
+    def finish(self) -> str:
+        """Write the clean ``end`` record and detach; returns final digest."""
+        sim = self.system.sim
+        digest = system_digest(self.system)
+        if self.journal is not None:
+            self.journal.close(sim.fired_count, sim.now, digest)
+        self.detach()
+        return digest
+
+    def abandon(self) -> None:
+        """Detach without an ``end`` record (the interrupted-run path)."""
+        if self.journal is not None:
+            self.journal.abandon()
+        self.detach()
+
+
+# --------------------------------------------------------------------------- #
+# Telemetry (digest-neutral: sample series + spans only)
+# --------------------------------------------------------------------------- #
+def _record_save_telemetry(system: Any, elapsed_s: float, size_bytes: int) -> None:
+    now = system.sim.now
+    system.metrics.record("persistence.checkpoint.save_s", now, elapsed_s)
+    system.metrics.record("persistence.checkpoint.bytes", now, float(size_bytes))
+    if system.spans is not None:
+        system.spans.record("checkpoint:save", "persistence", now,
+                            save_s=elapsed_s, bytes=size_bytes)
+
+
+def _record_restore_telemetry(system: Any, elapsed_s: float, events: int) -> None:
+    now = system.sim.now
+    system.metrics.record("persistence.restore.fast_forward_s", now, elapsed_s)
+    system.metrics.record("persistence.restore.events", now, float(events))
+    if system.spans is not None:
+        system.spans.record("checkpoint:restore", "persistence", now,
+                            fast_forward_s=elapsed_s, events=events)
+
+
+def save_checkpoint(system: Any, spec: ScenarioSpec, path: str,
+                    digest_every: int = 25) -> Checkpoint:
+    """Snapshot ``system`` at its current barrier and write ``path``."""
+    started = perf_counter()
+    checkpoint = Checkpoint(
+        scenario=spec.to_dict(),
+        time=system.sim.now,
+        fired=system.sim.fired_count,
+        digest=system_digest(system),
+        digest_every=digest_every,
+        state=system_snapshot(system),
+    )
+    size = checkpoint.save(path)
+    _record_save_telemetry(system, perf_counter() - started, size)
+    return checkpoint
+
+
+# --------------------------------------------------------------------------- #
+# Drivers
+# --------------------------------------------------------------------------- #
+@dataclass
+class RunResult:
+    """Outcome of a journaled run (uninterrupted, interrupted or resumed)."""
+
+    spec: ScenarioSpec
+    prepared: PreparedRun
+    journal_path: Optional[str] = None
+    checkpoint: Optional[Checkpoint] = None
+    final_digest: Optional[str] = None
+    fast_forward_events: int = 0
+    fast_forward_s: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def system(self) -> Any:
+        return self.prepared.system
+
+
+def _drive_to_horizon(system: Any, horizon: float) -> None:
+    """Run to ``horizon``, ignoring kernel stops.
+
+    A :class:`~repro.faults.models.HarnessCrashFault` stops the kernel to
+    model the experiment process dying; the *reference* driver (and a
+    resumed driver, whose crash already happened) simply keeps going.  The
+    crash event itself is part of the journaled stream either way, which
+    is what makes crashed-and-resumed runs comparable to uninterrupted
+    ones record-for-record.
+    """
+    system.run(until=horizon)
+    while system.sim.now < horizon:
+        system.run(until=horizon)
+
+
+def run_scenario(spec: ScenarioSpec, journal_path: Optional[str] = None,
+                 digest_every: int = 25,
+                 until: Optional[float] = None) -> RunResult:
+    """Uninterrupted reference run, optionally journaled."""
+    prepared = prepare(spec)
+    horizon = until if until is not None else prepared.horizon
+    journal = (JournalWriter(journal_path, spec.to_dict(), digest_every)
+               if journal_path else None)
+    recorder = RunRecorder(prepared.system, journal, digest_every)
+    try:
+        _drive_to_horizon(prepared.system, horizon)
+    except BaseException:
+        recorder.abandon()
+        raise
+    final = recorder.finish()
+    return RunResult(spec=spec, prepared=prepared, journal_path=journal_path,
+                     final_digest=final)
+
+
+def run_to_checkpoint(spec: ScenarioSpec, directory: str,
+                      at: Optional[float] = None,
+                      digest_every: int = 25) -> RunResult:
+    """Run until ``at`` (or the first kernel stop) and save a checkpoint.
+
+    Emulates an experiment that died mid-run: the journal holds a valid
+    prefix with no ``end`` record, and ``checkpoint.json`` captures the
+    barrier.  With no ``at``, the run lasts until a fault (e.g.
+    ``harness-crash``) stops the kernel, or the horizon if none does.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths = default_paths(directory)
+    prepared = prepare(spec)
+    horizon = prepared.horizon
+    barrier = min(at, horizon) if at is not None else horizon
+    journal = JournalWriter(paths["journal"], spec.to_dict(), digest_every)
+    recorder = RunRecorder(prepared.system, journal, digest_every)
+    try:
+        prepared.system.run(until=barrier)
+        checkpoint = save_checkpoint(prepared.system, spec,
+                                     paths["checkpoint"], digest_every)
+    finally:
+        recorder.abandon()
+    return RunResult(spec=spec, prepared=prepared,
+                     journal_path=paths["journal"], checkpoint=checkpoint)
+
+
+def fast_forward(system: Any, checkpoint: Checkpoint) -> float:
+    """Deterministically replay ``system`` from t=0 to the barrier.
+
+    Steps exactly ``checkpoint.fired`` events, advances the clock to the
+    barrier time (a checkpoint may sit between events), then verifies the
+    whole-system digest against the checkpoint.  Raises
+    :class:`CheckpointError` if the rebuilt run diverges -- the scenario
+    code, its seed or the environment has drifted since the save.
+    Returns the wall-clock seconds spent.
+    """
+    started = perf_counter()
+    sim = system.sim
+    while sim.fired_count < checkpoint.fired:
+        if sim.now > checkpoint.time:
+            # Self-rescheduling scenarios never exhaust their queue, so an
+            # impossible barrier must be caught by the clock overshooting
+            # the checkpoint's time instead.
+            raise CheckpointError(
+                f"passed the barrier time t={checkpoint.time:g} after only "
+                f"{sim.fired_count} events (checkpoint claims "
+                f"{checkpoint.fired}); the scenario no longer reproduces "
+                f"the checkpointed run")
+        if not sim.step():
+            raise CheckpointError(
+                f"scenario exhausted after {sim.fired_count} events but the "
+                f"checkpoint barrier is at {checkpoint.fired}; the scenario "
+                f"no longer reproduces the checkpointed run")
+    if checkpoint.time > sim.now:
+        sim.advance_to(checkpoint.time)
+    elapsed = perf_counter() - started
+    digest = system_digest(system)
+    if digest != checkpoint.digest:
+        raise CheckpointError(
+            f"digest mismatch at barrier (fired={checkpoint.fired}, "
+            f"t={checkpoint.time:g}): checkpoint {checkpoint.digest[:12]}..., "
+            f"rebuilt {digest[:12]}...; scenario code or seed has drifted "
+            f"since the checkpoint was taken")
+    _record_restore_telemetry(system, elapsed, checkpoint.fired)
+    return elapsed
+
+
+def resume_run(directory: Optional[str] = None,
+               checkpoint_path: Optional[str] = None,
+               journal_path: Optional[str] = None,
+               until: Optional[float] = None) -> RunResult:
+    """Resume a checkpointed run and complete its horizon.
+
+    Loads the checkpoint, rebuilds the scenario from its embedded spec,
+    fast-forwards to the barrier (verifying the digest), truncates the
+    journal to the barrier (WAL recovery: the crashed run may have
+    journaled past the last durable checkpoint) and continues, appending
+    to the same journal.  The result's journal is byte-identical to an
+    uninterrupted run of the same spec.
+    """
+    if directory is not None:
+        paths = default_paths(directory)
+        checkpoint_path = checkpoint_path or paths["checkpoint"]
+        journal_path = journal_path or paths["journal"]
+    if checkpoint_path is None:
+        raise CheckpointError("resume_run needs a directory or checkpoint_path")
+    checkpoint = Checkpoint.load(checkpoint_path)
+    spec = ScenarioSpec.from_dict(checkpoint.scenario)
+    prepared = prepare(spec)
+    system = prepared.system
+    horizon = until if until is not None else prepared.horizon
+
+    elapsed = fast_forward(system, checkpoint)
+
+    journal = None
+    if journal_path and os.path.exists(journal_path):
+        truncate(journal_path, checkpoint.fired)
+        journal = JournalWriter(journal_path, append=True)
+    recorder = RunRecorder(system, journal, checkpoint.digest_every)
+    try:
+        _drive_to_horizon(system, horizon)
+    except BaseException:
+        recorder.abandon()
+        raise
+    final = recorder.finish()
+    return RunResult(spec=spec, prepared=prepared, journal_path=journal_path,
+                     checkpoint=checkpoint, final_digest=final,
+                     fast_forward_events=checkpoint.fired,
+                     fast_forward_s=elapsed)

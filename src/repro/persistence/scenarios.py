@@ -1,0 +1,150 @@
+"""Rebuildable scenario specs: the bridge between checkpoints and systems.
+
+A checkpoint can only be resumed if the run it interrupted can be rebuilt
+from a declarative description.  A :class:`ScenarioSpec` is that
+description -- a registered scenario name, a seed and free-form params --
+and the registry maps names to *builders* that wire a system (topology,
+devices, protocols, fault schedule) **without running it**.  The
+persistence runner then drives the run, journals it, checkpoints it and
+replays it.
+
+Builders must be deterministic functions of ``(seed, params)``: two
+invocations with the same spec must produce systems whose runs are
+bit-identical.  Everything in the repo already obeys this discipline
+(seeded RNG streams, deterministic kernel), so builders just have to
+avoid wall-clock and ambient randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative identity of a run: rebuildable, hashable, journal-able."""
+
+    name: str
+    seed: Optional[int] = None   # None -> the scenario's canonical seed
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "seed": self.seed,
+                "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        seed = data.get("seed")
+        return cls(name=data["name"],
+                   seed=None if seed is None else int(seed),
+                   params=dict(data.get("params", {})))
+
+
+@dataclass
+class PreparedRun:
+    """A fully wired, not-yet-run system plus its run horizon.
+
+    ``aux`` carries scenario-specific live objects (MAPE loops, protocol
+    nodes) that tests and KPI reporting may want after the run.
+    """
+
+    system: Any
+    horizon: float
+    aux: Dict[str, Any] = field(default_factory=dict)
+
+
+ScenarioBuilder = Callable[[int, Dict[str, Any]], PreparedRun]
+
+_REGISTRY: Dict[str, ScenarioBuilder] = {}
+
+
+def register_scenario(name: str, builder: Optional[ScenarioBuilder] = None):
+    """Register a builder under ``name`` (usable as a decorator)."""
+
+    def _register(fn: ScenarioBuilder) -> ScenarioBuilder:
+        _REGISTRY[name] = fn
+        return fn
+
+    if builder is not None:
+        return _register(builder)
+    return _register
+
+
+def scenario_names() -> List[str]:
+    _ensure_builtin()
+    return sorted(_REGISTRY)
+
+
+def prepare(spec: ScenarioSpec) -> PreparedRun:
+    """Build (but do not run) the system described by ``spec``."""
+    _ensure_builtin()
+    builder = _REGISTRY.get(spec.name)
+    if builder is None:
+        raise KeyError(
+            f"unknown scenario {spec.name!r}; registered: {scenario_names()}")
+    return builder(spec.seed, dict(spec.params))
+
+
+# --------------------------------------------------------------------------- #
+# Built-in scenarios
+# --------------------------------------------------------------------------- #
+_BUILTIN_LOADED = False
+
+
+def _ensure_builtin() -> None:
+    """Register the built-in scenarios lazily (import-cycle guard)."""
+    global _BUILTIN_LOADED
+    if _BUILTIN_LOADED:
+        return
+    _BUILTIN_LOADED = True
+
+    from repro.experiments import (
+        FIG3_HORIZON,
+        FIG5_HORIZON,
+        prepare_control_architecture,
+        prepare_mape_placement,
+    )
+
+    @register_scenario("mape-outage")
+    def _mape_outage(seed: int, params: Dict[str, Any]) -> PreparedRun:
+        """Fig. 5's MAPE placement run (default: edge placement)."""
+        placement = params.get("placement", "edge")
+        system, loops = prepare_mape_placement(
+            placement, seed=seed or 19, observe=bool(params.get("observe")))
+        return PreparedRun(system=system,
+                           horizon=float(params.get("horizon", FIG5_HORIZON)),
+                           aux={"loops": loops})
+
+    @register_scenario("control-outage")
+    def _control(seed: int, params: Dict[str, Any]) -> PreparedRun:
+        """Fig. 3's control-architecture run (default: decentralized)."""
+        architecture = params.get("architecture", "decentralized")
+        system, loops = prepare_control_architecture(architecture,
+                                                     seed=seed or 11)
+        return PreparedRun(system=system,
+                           horizon=float(params.get("horizon", FIG3_HORIZON)),
+                           aux={"loops": loops})
+
+    @register_scenario("harness-crash")
+    def _harness_crash(seed: int, params: Dict[str, Any]) -> PreparedRun:
+        """The fault engine's end-to-end recovery proof.
+
+        A decentralized control run whose fault schedule includes a
+        :class:`~repro.faults.models.HarnessCrashFault`: at ``crash_at``
+        the experiment process itself "dies" (the kernel stops
+        mid-horizon).  The persistence runner checkpoints at the stop,
+        and a resumed run must complete the horizon bit-identically to a
+        driver that ignores the stop -- proving the checkpoint/journal
+        path end to end.
+        """
+        from repro.faults.models import HarnessCrashFault
+
+        system, loops = prepare_control_architecture(
+            params.get("architecture", "decentralized"), seed=seed or 11)
+        crash_at = float(params.get("crash_at", 45.0))
+        system.injector.inject_at(crash_at, HarnessCrashFault(
+            name=f"harness-crash@{crash_at:g}"))
+        return PreparedRun(system=system,
+                           horizon=float(params.get("horizon", FIG3_HORIZON)),
+                           aux={"loops": loops, "crash_at": crash_at})

@@ -20,7 +20,6 @@ Design notes
 from __future__ import annotations
 
 import heapq
-import itertools
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
@@ -89,13 +88,18 @@ class Simulator:
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: List[Tuple[float, int, int, Event]] = []
-        self._seq = itertools.count()
+        self._next_seq = 0
         self._running = False
         self._stopped = False
         self._pending = 0
+        self._fired = 0
         # Optional kernel profiler (repro.observability.Instrument).  The
         # hot path pays one attribute check per event when detached.
         self.instrument: Optional["Instrument"] = None
+        # Optional post-fire observer (repro.persistence.RunRecorder): called
+        # with each Event after its callback returns, so journals see the
+        # post-event state.  One attribute check per event when detached.
+        self.on_event: Optional[Callable[[Event], None]] = None
         # Arbitrary shared context: subsystems register themselves here so
         # that loosely coupled components (e.g. fault injector and device
         # fleet) can find each other without import cycles.
@@ -137,7 +141,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        event = Event(time, priority, next(self._seq), callback, label=label)
+        event = Event(time, priority, self._next_seq, callback, label=label)
+        self._next_seq += 1
         heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
         self._pending += 1
         return event
@@ -162,6 +167,7 @@ class Simulator:
             self._now = event.time
             event.fired = True
             self._pending -= 1
+            self._fired += 1
             instrument = self.instrument
             if instrument is not None and instrument.enabled:
                 started = perf_counter()
@@ -170,6 +176,9 @@ class Simulator:
                                   self._pending, self._now)
             else:
                 event.callback(self)
+            observer = self.on_event
+            if observer is not None:
+                observer(event)
             return True
         return False
 
@@ -218,3 +227,101 @@ class Simulator:
         already-cancelled entries).
         """
         return self._pending
+
+    # ------------------------------------------------------------------ #
+    # Persistence (repro.persistence)
+    # ------------------------------------------------------------------ #
+    @property
+    def fired_count(self) -> int:
+        """Total events executed since construction (or last restore)."""
+        return self._fired
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward without firing events.
+
+        Used when restoring a checkpoint taken between events: the
+        checkpoint's clock may sit past the last fired event but before
+        the next pending one.  Rejects travel into the past or past the
+        next pending event (which would reorder history).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot advance backwards to t={time} from t={self._now}"
+            )
+        next_time = self._peek_time()
+        if next_time is not None and time > next_time:
+            raise SimulationError(
+                f"cannot advance to t={time} past pending event at t={next_time}"
+            )
+        self._now = float(time)
+
+    def restore_event(
+        self,
+        time: float,
+        callback: Callable[["Simulator"], None],
+        priority: int = 0,
+        seq: Optional[int] = None,
+        label: str = "",
+    ) -> Event:
+        """Re-register an event during component restore.
+
+        Passing the event's original ``seq`` (captured in the component's
+        snapshot) preserves intra-instant firing order across a checkpoint
+        round trip -- ties on ``(time, priority)`` break by sequence, and a
+        freshly assigned sequence could reorder same-instant events
+        relative to the original run.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot restore event at t={time} before current time t={self._now}"
+            )
+        if seq is None:
+            seq = self._next_seq
+            self._next_seq += 1
+        elif seq >= self._next_seq:
+            raise SimulationError(
+                f"restored seq {seq} not below next_seq {self._next_seq}"
+            )
+        event = Event(time, priority, seq, callback, label=label)
+        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
+        self._pending += 1
+        return event
+
+    def pending_events(self) -> List[Dict[str, Any]]:
+        """Metadata of pending events, in firing order.
+
+        Lazily-cancelled events are excluded: they will never fire, so a
+        checkpoint must not record them.  Callbacks are deliberately not
+        captured (closures do not serialize); on restore each component
+        re-registers its own callbacks from its restored state.
+        """
+        out = []
+        for time, priority, seq, event in sorted(self._heap, key=lambda e: e[:3]):
+            if not event.cancelled:
+                out.append({"t": time, "priority": priority, "seq": seq,
+                            "label": event.label})
+        return out
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Serializable kernel state: clock, counters, pending-event metadata."""
+        return {
+            "now": self._now,
+            "next_seq": self._next_seq,
+            "fired": self._fired,
+            "pending": self.pending_events(),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore clock and counters from :meth:`snapshot_state`.
+
+        Pending events are *not* rebuilt here -- their callbacks live in
+        the components that scheduled them, so each Snapshottable
+        component re-registers its own events during its ``restore_state``.
+        Must be called on an idle kernel before any re-registration.
+        """
+        if self._heap or self._running:
+            raise SimulationError("restore_state requires an idle, empty kernel")
+        self._now = float(state["now"])
+        self._next_seq = int(state["next_seq"])
+        self._fired = int(state["fired"])
+        self._stopped = False

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict, List
+from typing import Any, Dict, List
 
 
 class RngRegistry:
@@ -45,3 +45,40 @@ class RngRegistry:
     @property
     def stream_names(self) -> List[str]:
         return sorted(self._streams)
+
+    # -- persistence --------------------------------------------------------- #
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Serializable per-stream ``Random.getstate()`` for every stream.
+
+        The Mersenne state tuple is converted to lists so the snapshot is
+        JSON-able; :meth:`restore_state` converts back.
+        """
+        return {
+            "seed": self.seed,
+            "streams": {
+                name: serialize_rng_state(rng)
+                for name, rng in sorted(self._streams.items())
+            },
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore every stream's draw position from :meth:`snapshot_state`.
+
+        Streams absent from the registry are created first (via the normal
+        seed derivation) so a freshly built registry restores cleanly.
+        """
+        self.seed = int(state["seed"])
+        for name, rng_state in state["streams"].items():
+            restore_rng_state(self.stream(name), rng_state)
+
+
+def serialize_rng_state(rng: random.Random) -> List[Any]:
+    """``Random.getstate()`` as a JSON-able ``[version, internal, gauss]``."""
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def restore_rng_state(rng: random.Random, state: List[Any]) -> None:
+    """Inverse of :func:`serialize_rng_state`."""
+    version, internal, gauss_next = state
+    rng.setstate((version, tuple(internal), gauss_next))

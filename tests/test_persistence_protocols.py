@@ -1,0 +1,291 @@
+"""Checkpoint round trips across every coordination protocol.
+
+For each protocol: wire system A, start it, run to a message-quiescent
+point, snapshot (kernel + RNG registry + fleet + protocol state); wire
+an identical system B that is *never started*, restore the snapshot into
+it, then run both to the horizon.  The continuation must be bit-for-bit
+identical: same kernel counters, same RNG stream digests, and the same
+final protocol state (compared as snapshot digests, which include every
+counter, pending tick and private RNG).
+
+Snapshots are forced through a JSON round trip so nothing survives by
+object identity.
+"""
+
+import json
+
+import pytest
+
+from repro.coordination import (
+    BullyElection,
+    GossipNode,
+    HeartbeatFailureDetector,
+    LeaseKeeper,
+    LeaseManager,
+    MembershipProtocol,
+    PhiAccrualFailureDetector,
+    RaftCluster,
+    RaftNode,
+)
+from repro.core.system import IoTSystem
+from repro.persistence.snapshot import state_digest
+
+
+def _quiesce(system, after):
+    """Run past ``after``, then step until no message is in flight.
+
+    In-flight deliveries are heap closures that cannot be checkpointed;
+    components only re-register their own ticks and timeouts, so a
+    snapshot is taken at a point where the pending queue holds nothing
+    else.
+    """
+    system.run(until=after)
+    for _ in range(10_000):
+        if not any(e["label"].startswith("deliver:")
+                   for e in system.sim.pending_events()):
+            return
+        system.sim.step()
+    raise AssertionError("no message-quiescent point found")
+
+
+def _snapshot(system, components):
+    return json.loads(json.dumps({
+        "kernel": system.sim.snapshot_state(),
+        "rngs": system.rngs.snapshot_state(),
+        "fleet": system.fleet.snapshot_state(),
+        "components": {name: comp.snapshot_state()
+                       for name, comp in components.items()},
+    }))
+
+
+def _restore(system, components, snap):
+    system.sim.restore_state(snap["kernel"])
+    system.rngs.restore_state(snap["rngs"])
+    system.fleet.restore_state(snap["fleet"])
+    for name, comp in components.items():
+        comp.restore_state(snap["components"][name])
+
+
+def _assert_identical_continuation(sys_a, comps_a, sys_b, comps_b):
+    assert sys_a.sim.now == sys_b.sim.now
+    assert sys_a.sim.fired_count == sys_b.sim.fired_count
+    assert sys_a.sim._next_seq == sys_b.sim._next_seq
+    assert (state_digest(sys_a.rngs.snapshot_state())
+            == state_digest(sys_b.rngs.snapshot_state()))
+    for name in comps_a:
+        assert (state_digest(comps_a[name].snapshot_state())
+                == state_digest(comps_b[name].snapshot_state())), name
+
+
+def _round_trip(build, checkpoint_at, horizon):
+    """Run build()'s protocol through an interrupted/uninterrupted pair."""
+    sys_a, comps_a, start_a = build()
+    start_a()
+    _quiesce(sys_a, checkpoint_at)
+    snap = _snapshot(sys_a, comps_a)
+
+    sys_b, comps_b, _ = build()
+    _restore(sys_b, comps_b, snap)
+
+    sys_a.run(until=horizon)
+    sys_b.run(until=horizon)
+    _assert_identical_continuation(sys_a, comps_a, sys_b, comps_b)
+    return comps_a, comps_b
+
+
+class TestGossipRoundTrip:
+    def test_restore_continue_matches_uninterrupted(self):
+        def build():
+            system = IoTSystem.with_edge_cloud_landscape(3, 1, seed=5)
+            edges = sorted(system.edge_nodes)
+            nodes = {
+                nid: GossipNode(system.sim, system.network, nid, list(edges),
+                                rng=system.rngs.stream("gossip"), period=1.0)
+                for nid in edges
+            }
+
+            def start():
+                for node in nodes.values():
+                    node.start()
+                nodes[edges[0]].set("config", "v1")
+
+            return system, nodes, start
+
+        comps_a, comps_b = _round_trip(build, checkpoint_at=7.5, horizon=20.0)
+        for name, node in comps_a.items():
+            assert node.get("config") == "v1"
+            assert node.rounds == comps_b[name].rounds
+            assert node.rounds > 0
+
+
+class TestFailureDetectorRoundTrip:
+    def _build(self, cls, **kwargs):
+        def build():
+            system = IoTSystem.with_edge_cloud_landscape(3, 1, seed=9)
+            edges = sorted(system.edge_nodes)
+            detectors = {
+                nid: cls(system.sim, system.network, nid,
+                         [p for p in edges if p != nid], **kwargs)
+                for nid in edges
+            }
+
+            def start():
+                for detector in detectors.values():
+                    detector.start()
+                # The crash fires before the checkpoint, so its effects
+                # (not its event) are part of the restored state.
+                system.sim.schedule(2.0,
+                                    lambda s: system.fleet.crash("edge2"),
+                                    label="test:crash")
+
+            return system, detectors, start
+
+        return build
+
+    def test_heartbeat_restore_mid_suspicion(self):
+        build = self._build(HeartbeatFailureDetector, period=1.0, timeout=3.0)
+        comps_a, comps_b = _round_trip(build, checkpoint_at=4.5, horizon=12.0)
+        for name in ("edge0", "edge1"):
+            assert comps_a[name].suspects("edge2")
+            assert comps_a[name].alive_peers == comps_b[name].alive_peers
+
+    def test_phi_accrual_restore_mid_suspicion(self):
+        build = self._build(PhiAccrualFailureDetector, period=1.0,
+                            threshold=3.0)
+        comps_a, comps_b = _round_trip(build, checkpoint_at=4.5, horizon=12.0)
+        for name in ("edge0", "edge1"):
+            assert comps_a[name].alive_peers == comps_b[name].alive_peers
+
+
+class TestRaftRoundTrip:
+    def test_restore_mid_term_with_log(self):
+        def build():
+            system = IoTSystem.with_edge_cloud_landscape(3, 1, seed=13)
+            edges = sorted(system.edge_nodes)
+            cluster = RaftCluster(system.sim, system.network, edges,
+                                  rng=system.rngs.stream("raft"))
+
+            def propose(s):
+                leader = cluster.leader()
+                if leader is not None:
+                    leader.propose({"op": "set", "at": s.now})
+
+            def start():
+                cluster.start()
+                system.sim.schedule(6.0, propose, label="test:propose")
+
+            return system, {"cluster": cluster}, start
+
+        comps_a, comps_b = _round_trip(build, checkpoint_at=8.0, horizon=25.0)
+        cluster_a, cluster_b = comps_a["cluster"], comps_b["cluster"]
+        leader_a, leader_b = cluster_a.leader(), cluster_b.leader()
+        assert leader_a is not None
+        assert leader_b is not None
+        assert leader_a.node_id == leader_b.node_id
+        assert cluster_a.applied == cluster_b.applied
+        assert any(cluster_a.applied.values()), "no command was ever applied"
+
+
+class TestElectionRoundTrip:
+    def test_restore_with_pending_response_deadline(self):
+        def build():
+            system = IoTSystem.with_edge_cloud_landscape(3, 1, seed=17)
+            edges = sorted(system.edge_nodes)
+            elections = {
+                nid: BullyElection(system.sim, system.network, nid,
+                                   list(edges), response_timeout=2.0)
+                for nid in edges
+            }
+
+            def start():
+                system.sim.schedule(
+                    1.0, lambda s: elections[edges[0]].start_election(),
+                    label="test:start-election")
+
+            return system, elections, start
+
+        comps_a, comps_b = _round_trip(build, checkpoint_at=1.5, horizon=8.0)
+        expected = sorted(comps_a)[-1]   # bully: highest id wins
+        for name in comps_a:
+            assert comps_a[name].leader == expected
+            assert comps_b[name].leader == expected
+
+
+class TestLeaseRoundTrip:
+    def test_restore_mid_lease(self):
+        def build():
+            system = IoTSystem.with_edge_cloud_landscape(3, 1, seed=21)
+            edges = sorted(system.edge_nodes)
+            rng = system.rngs.stream("raft")
+            import random
+            rafts = {
+                nid: RaftNode(system.sim, system.network, nid, list(edges),
+                              random.Random(rng.getrandbits(64)))
+                for nid in edges
+            }
+            managers = {nid: LeaseManager(system.sim, raft)
+                        for nid, raft in rafts.items()}
+            keepers = {nid: LeaseKeeper(system.sim, managers[nid], "lock",
+                                        period=1.0)
+                       for nid in edges}
+            comps = {}
+            for nid in edges:
+                comps[f"raft:{nid}"] = rafts[nid]
+                comps[f"manager:{nid}"] = managers[nid]
+                comps[f"keeper:{nid}"] = keepers[nid]
+
+            def start():
+                for raft in rafts.values():
+                    raft.start()
+                for keeper in keepers.values():
+                    keeper.start()
+
+            return system, comps, start
+
+        comps_a, comps_b = _round_trip(build, checkpoint_at=10.0, horizon=25.0)
+        holders_a = {name: comp.holder_of("lock")
+                     for name, comp in comps_a.items()
+                     if name.startswith("manager:")}
+        holders_b = {name: comp.holder_of("lock")
+                     for name, comp in comps_b.items()
+                     if name.startswith("manager:")}
+        assert holders_a == holders_b
+        assert any(h is not None for h in holders_a.values()), \
+            "no lease was ever granted"
+
+
+class TestMembershipRoundTrip:
+    def test_restore_mid_suspicion_with_inflight_timeouts(self):
+        def build():
+            system = IoTSystem.with_edge_cloud_landscape(4, 1, seed=25)
+            edges = sorted(system.edge_nodes)
+            members = {
+                nid: MembershipProtocol(
+                    system.sim, system.network, nid, list(edges),
+                    rng=system.rngs.stream(f"swim:{nid}"),
+                    probe_period=1.0, suspicion_timeout=4.0)
+                for nid in edges
+            }
+
+            def start():
+                for member in members.values():
+                    member.start()
+                system.sim.schedule(3.0,
+                                    lambda s: system.fleet.crash("edge3"),
+                                    label="test:crash")
+
+            return system, members, start
+
+        comps_a, comps_b = _round_trip(build, checkpoint_at=5.5, horizon=15.0)
+        for name in ("edge0", "edge1", "edge2"):
+            states_a = {n: s.value if hasattr(s, "value") else s
+                        for n, s in _member_states(comps_a[name]).items()}
+            states_b = {n: s.value if hasattr(s, "value") else s
+                        for n, s in _member_states(comps_b[name]).items()}
+            assert states_a == states_b
+            assert states_a.get("edge3") in ("dead", "suspect", None)
+
+
+def _member_states(protocol):
+    snap = protocol.snapshot_state()
+    return {node: entry[0] for node, entry in snap["members"].items()}

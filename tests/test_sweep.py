@@ -1,10 +1,17 @@
 """Tests for the parameter-sweep harness and stochastic maturity mode."""
 
+import json
+
 import pytest
 
 from repro.core.maturity import MaturityScenario, ScenarioParams
 from repro.core.vectors import MaturityLevel
 from repro.sweep import SweepCell, run_sweep
+
+
+def _module_metric(x, seed):
+    """Module-level so it pickles into a ProcessPoolExecutor worker."""
+    return x * 10.0 + seed
 
 
 class TestRunSweep:
@@ -50,6 +57,95 @@ class TestRunSweep:
             run_sweep(lambda seed: 0.0, grid={}, seeds=[0])
         with pytest.raises(ValueError):
             run_sweep(lambda x, seed: 0.0, grid={"x": [1]}, seeds=[])
+        with pytest.raises(ValueError):
+            run_sweep(lambda x, seed: 0.0, grid={"x": [1]}, seeds=[0],
+                      workers=0)
+        with pytest.raises(ValueError):
+            run_sweep(lambda x, seed: 0.0, grid={"x": [1]}, seeds=[0],
+                      checkpoint_every=0)
+
+
+class TestEmptyCellStatistics:
+    """An empty cell is "no data", not a perfect score of 0.0."""
+
+    def test_statistics_are_none(self):
+        cell = SweepCell(params={"x": 1})
+        assert cell.mean is None
+        assert cell.minimum is None
+        assert cell.maximum is None
+        assert cell.spread is None
+
+    def test_series_omits_empty_cells(self):
+        from repro.sweep import SweepResult
+
+        result = SweepResult(grid_keys=("x",), cells=[
+            SweepCell(params={"x": 1}, values=[2.0]),
+            SweepCell(params={"x": 2}),          # no data
+        ])
+        assert result.series(over="x") == [(1, 2.0)]
+        assert result.rows()[1] == [2, None, None, None]
+
+
+class TestParallelSweep:
+    def test_workers_match_serial_results(self):
+        grid = {"x": [1, 2, 3]}
+        serial = run_sweep(_module_metric, grid=grid, seeds=[1, 2, 3])
+        parallel = run_sweep(_module_metric, grid=grid, seeds=[1, 2, 3],
+                             workers=2)
+        assert [c.values for c in parallel.cells] == \
+            [c.values for c in serial.cells]
+        assert [c.params for c in parallel.cells] == \
+            [c.params for c in serial.cells]
+
+
+class TestSweepCheckpoint:
+    def test_crash_resume_skips_completed_cells(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        calls = []
+
+        def flaky(x, seed):
+            calls.append((x, seed))
+            if len(calls) > 4:       # 2 cells x 2 seeds, then crash
+                raise RuntimeError("harness crash")
+            return _module_metric(x, seed)
+
+        with pytest.raises(RuntimeError):
+            run_sweep(flaky, grid={"x": [1, 2, 3]}, seeds=[1, 2],
+                      checkpoint_path=path)
+        saved = json.load(open(path))
+        assert len(saved["cells"]) == 2
+
+        reran = []
+
+        def tracking(x, seed):
+            reran.append((x, seed))
+            return _module_metric(x, seed)
+
+        resumed = run_sweep(tracking, grid={"x": [1, 2, 3]},
+                            seeds=[1, 2], checkpoint_path=path)
+        assert reran == [(3, 1), (3, 2)]   # only the missing cell ran
+        reference = run_sweep(_module_metric, grid={"x": [1, 2, 3]},
+                              seeds=[1, 2])
+        assert [c.values for c in resumed.cells] == \
+            [c.values for c in reference.cells]
+
+    def test_checkpoint_every_batches_saves(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        run_sweep(_module_metric, grid={"x": [1, 2, 3]}, seeds=[1],
+                  checkpoint_path=path, checkpoint_every=2)
+        saved = json.load(open(path))
+        assert len(saved["cells"]) == 3    # final flush covers the tail
+
+    def test_mismatched_fingerprint_is_refused(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        run_sweep(_module_metric, grid={"x": [1]}, seeds=[1],
+                  checkpoint_path=path)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            run_sweep(_module_metric, grid={"x": [1, 2]}, seeds=[1],
+                      checkpoint_path=path)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            run_sweep(_module_metric, grid={"x": [1]}, seeds=[2],
+                      checkpoint_path=path)
 
 
 class TestStochasticMaturityMode:
