@@ -203,12 +203,60 @@ def bench_persistence(quick: bool) -> Dict[str, float]:
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+def bench_traffic(quick: bool) -> Dict[str, float]:
+    """Serving-plane throughput and the overload/retry-storm KPIs.
+
+    The cohort runs prove load generation scales with aggregate rate,
+    not user count: the 100k-client run must fire the same order of
+    magnitude of kernel events as the 10k-client run.  The overload and
+    retry-storm KPIs are deterministic headline numbers.
+    """
+    from repro.traffic.scenarios import (
+        prepare_overload,
+        run_overload,
+        run_retry_storm,
+    )
+
+    horizon = 10.0 if quick else 30.0
+
+    def cohort_run(users: int) -> Tuple[float, float, int]:
+        # Equal aggregate demand (400/s) spread over `users` clients.
+        prepared = prepare_overload(
+            variant="admission", users=users,
+            rate_per_user=400.0 / users, horizon=horizon)
+        started = time.perf_counter()
+        prepared.system.run(until=horizon)
+        wall = time.perf_counter() - started
+        events = prepared.system.sim.fired_count
+        return wall, events / wall if wall > 0 else 0.0, events
+
+    wall_10k, eps_10k, events_10k = cohort_run(10_000)
+    _, _, events_100k = cohort_run(100_000)
+
+    overload = run_overload("naive", horizon=horizon)
+    # The recovery window opens at t=21 (heal + grace), so even the
+    # quick variant must run past it.
+    storm = run_retry_storm("resilient",
+                            horizon=30.0 if quick else 45.0)
+    return {
+        "wall_s": wall_10k,
+        "events_per_s": eps_10k,
+        "events_10k_clients": float(events_10k),
+        "events_100k_clients": float(events_100k),
+        "overload_goodput": round(overload["goodput"], 9),
+        "overload_p99_s": round(overload["p99_latency"], 9),
+        "storm_recovery_ratio": round(storm["recovery_ratio"], 9),
+        "storm_breaker_trips": float(storm["breaker"]["trips"]),
+    }
+
+
 SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
     "smart_city": bench_smart_city,
     "mape_outage": bench_mape_outage,
     "kernel": bench_kernel,
     "histogram": bench_histogram,
     "persistence": bench_persistence,
+    "traffic": bench_traffic,
 }
 
 

@@ -20,10 +20,13 @@ from repro.adaptation.actions import (
     MigrateServiceAction,
     NoopAction,
     RebootDeviceAction,
+    RerouteTrafficAction,
     RestartServiceAction,
+    ShedLoadAction,
 )
 from repro.adaptation.analyzer import (
     Analyzer,
+    BackpressureAnalyzer,
     DeviceLivenessAnalyzer,
     ServiceHealthAnalyzer,
     SloAlertAnalyzer,
@@ -44,6 +47,7 @@ __all__ = [
     "Action",
     "ActionResult",
     "Analyzer",
+    "BackpressureAnalyzer",
     "DeviceLivenessAnalyzer",
     "DeviceSnapshot",
     "Executor",
@@ -61,7 +65,9 @@ __all__ = [
     "RebootDeviceAction",
     "RegionalPlanning",
     "RepairModel",
+    "RerouteTrafficAction",
     "RestartServiceAction",
+    "ShedLoadAction",
     "RuleBasedPlanner",
     "ServiceHealthAnalyzer",
     "SloAlertAnalyzer",

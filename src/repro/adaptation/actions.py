@@ -65,6 +65,35 @@ class RebootDeviceAction(Action):
 
 
 @dataclass(frozen=True)
+class ShedLoadAction(Action):
+    """Tighten admission control on ``target``'s traffic server.
+
+    The cheapest overload countermeasure: refuse more requests at the
+    door so the ones admitted still finish within their deadlines.
+    """
+
+    factor: float = 0.5
+
+    def describe(self) -> str:
+        return f"shed load on {self.target!r} (factor {self.factor:g})"
+
+
+@dataclass(frozen=True)
+class RerouteTrafficAction(Action):
+    """Re-point clients targeting ``target`` at ``destination``.
+
+    The elasticity countermeasure: sustained overload at an edge site is
+    absorbed by offloading its traffic to a bigger pool (typically the
+    cloud), trading latency for goodput.
+    """
+
+    destination: str = ""
+
+    def describe(self) -> str:
+        return f"reroute traffic from {self.target!r} to {self.destination!r}"
+
+
+@dataclass(frozen=True)
 class NoopAction(Action):
     """Explicit no-op: the planner decided observation suffices."""
 

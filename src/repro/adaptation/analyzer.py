@@ -127,6 +127,35 @@ class SloAlertAnalyzer(Analyzer):
         return opened
 
 
+class BackpressureAnalyzer(Analyzer):
+    """Turns server backpressure signals into ``overload`` issues.
+
+    A :class:`~repro.traffic.server.Server` with this loop's knowledge
+    base attached (``server.attach_backpressure(loop.knowledge)``)
+    appends facts to ``knowledge.facts["backpressure"]`` when queue
+    occupancy stays above its watermark; this analyzer drains them --
+    the same attach pattern as :class:`SloAlertAnalyzer` -- and opens
+    one ``overload`` issue per saturated node, which the planner's
+    overload rule answers with load shedding or re-routing.
+    """
+
+    def analyze(self, knowledge: KnowledgeBase, now: float) -> List[Issue]:
+        signals = knowledge.facts.pop("backpressure", [])
+        opened: List[Issue] = []
+        for signal in signals:
+            issue = Issue(
+                kind="overload",
+                subject=str(signal.get("node", "")),
+                detected_at=now,
+                severity=3,
+                detail=(f"queue {signal.get('depth')}/{signal.get('capacity')} "
+                        f"above watermark since {signal.get('since')}"),
+            )
+            if knowledge.open_issue(issue):
+                opened.append(issue)
+        return opened
+
+
 class BatteryAnalyzer(Analyzer):
     """Opens ``battery-low`` issues below a threshold fraction."""
 

@@ -18,7 +18,9 @@ from repro.adaptation.actions import (
     MigrateServiceAction,
     NoopAction,
     RebootDeviceAction,
+    RerouteTrafficAction,
     RestartServiceAction,
+    ShedLoadAction,
 )
 from repro.devices.fleet import DeviceFleet
 from repro.devices.software import ServiceState
@@ -69,6 +71,10 @@ class Executor:
             return self._migrate(action)
         if isinstance(action, RebootDeviceAction):
             return self._reboot(action)
+        if isinstance(action, ShedLoadAction):
+            return self._shed(action)
+        if isinstance(action, RerouteTrafficAction):
+            return self._reroute(action)
         return self._done(action, False, f"unknown action {type(action).__name__}")
 
     def _reachable(self, target: str) -> bool:
@@ -127,6 +133,32 @@ class Executor:
             self.fleet.recover(action.target)
             return self._done(action, True, "rebooted")
         return self._done(action, False, "reboot attempt failed")
+
+    def _shed(self, action: ShedLoadAction) -> ActionResult:
+        registry = self.sim.context.get("traffic")
+        if registry is None:
+            return self._done(action, False, "no traffic registry in context")
+        if not registry.shed(action.target, action.factor):
+            return self._done(action, False,
+                              f"no traffic server on {action.target!r}")
+        return self._done(action, True, f"admission tightened x{action.factor:g}")
+
+    def _reroute(self, action: RerouteTrafficAction) -> ActionResult:
+        registry = self.sim.context.get("traffic")
+        if registry is None:
+            return self._done(action, False, "no traffic registry in context")
+        if not action.destination:
+            return self._done(action, False, "no destination")
+        if not self.network.node_up(action.destination):
+            return self._done(action, False, "destination is down")
+        if not self._reachable(action.destination):
+            return self._done(action, False, "destination unreachable")
+        moved = registry.reroute(action.target, action.destination)
+        if moved == 0:
+            return self._done(action, False,
+                              f"no clients target {action.target!r}")
+        return self._done(action, True,
+                          f"{moved} client(s) -> {action.destination!r}")
 
     def _done(self, action: Action, success: bool, detail: str) -> ActionResult:
         result = ActionResult(action=action, success=success, detail=detail)

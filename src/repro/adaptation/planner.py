@@ -17,7 +17,9 @@ from repro.adaptation.actions import (
     Action,
     MigrateServiceAction,
     RebootDeviceAction,
+    RerouteTrafficAction,
     RestartServiceAction,
+    ShedLoadAction,
 )
 from repro.adaptation.knowledge import Issue, KnowledgeBase
 
@@ -114,6 +116,16 @@ class RuleBasedPlanner(Planner):
                                      destination=destination)
                 for service in sorted(snapshot.running_services)
             ]
+        if issue.kind == "overload":
+            # Sustained backpressure from a traffic server: offload to a
+            # configured elastic target when one is known (the edge->cloud
+            # elasticity of §IV), otherwise shed load in place so admitted
+            # requests still meet their deadlines.
+            offload = knowledge.facts.get("offload_target")
+            if offload and offload != issue.subject:
+                return [RerouteTrafficAction(target=issue.subject,
+                                             destination=str(offload))]
+            return [ShedLoadAction(target=issue.subject)]
         if issue.kind == "knowledge-stale":
             return []
         return []

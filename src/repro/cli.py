@@ -476,10 +476,15 @@ def cmd_report(quick: bool, scenario: str = "smart-city-partition",
     histograms = {}
     if report.repair_latency is not None and report.repair_latency.count:
         histograms["repair_latency_seconds"] = report.repair_latency
+    per_kind = system.network.stats.per_kind
+    for kind, hist in sorted(per_kind.items()):
+        if hist.count:
+            histograms[f"network_latency_seconds_{kind}"] = hist
     n_bytes = write_html_report(
         html_path, f"Resilience report — {scenario}", report,
         slo_monitor=monitor,
-        availability_per_device=availability["per_device"])
+        availability_per_device=availability["per_device"],
+        network_kinds=per_kind)
     n_lines = write_prometheus(system.metrics, prom_path,
                                histograms=histograms)
     with open(kpi_path, "w", encoding="utf-8") as fh:
@@ -591,6 +596,80 @@ def cmd_replay(quick: bool, out: str = "checkpoint-out",
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# traffic: serving under overload and retry storms
+# --------------------------------------------------------------------------- #
+TRAFFIC_SCENARIOS = ("overload", "retry-storm")
+
+
+def cmd_traffic(quick: bool, scenario: str = "overload") -> int:
+    """Run every variant of a traffic scenario; gate on the resilient one.
+
+    ``overload`` fails if admission control cannot hold goodput at >=80%
+    of capacity; ``retry-storm`` fails if the budget+breaker variant does
+    not recover >=90% of offered goodput after the outage heals.
+    """
+    from repro.traffic.scenarios import (
+        OVERLOAD_HORIZON,
+        OVERLOAD_VARIANTS,
+        RETRY_STORM_HORIZON,
+        RETRY_STORM_VARIANTS,
+        run_overload,
+        run_retry_storm,
+    )
+
+    def _round(value: object) -> object:
+        return round(value, 4) if isinstance(value, float) else value
+
+    if scenario == "overload":
+        horizon = 15.0 if quick else OVERLOAD_HORIZON
+        results = []
+        for variant in OVERLOAD_VARIANTS:
+            _progress(f"running overload variant {variant!r}...")
+            results.append(run_overload(variant, horizon=horizon))
+        _print_table(
+            f"traffic: overload at 1.6x capacity (horizon {horizon:g}s)",
+            ["variant", "offered/s", "capacity/s", "goodput/s", "success",
+             "p99 (s)", "rejected", "timed out"],
+            [[r["variant"], _round(r["offered_rate"]), _round(r["capacity"]),
+              _round(r["goodput"]), _round(r["success_ratio"]),
+              _round(r["p99_latency"]), r["rejected"], r["timed_out"]]
+             for r in results])
+        _print_data("traffic: overload", {"results": results})
+        held = next(r for r in results if r["variant"] == "admission")
+        if held["goodput_vs_capacity"] < 0.8:
+            _progress(f"\nTRAFFIC GATE: FAIL (admission goodput at "
+                      f"{held['goodput_vs_capacity']:.0%} of capacity)")
+            return 1
+        _progress(f"\nTRAFFIC GATE: OK (admission control holds goodput at "
+                  f"{held['goodput_vs_capacity']:.0%} of capacity)")
+        return 0
+
+    horizon = 35.0 if quick else RETRY_STORM_HORIZON
+    results = []
+    for variant in RETRY_STORM_VARIANTS:
+        _progress(f"running retry-storm variant {variant!r}...")
+        results.append(run_retry_storm(variant, horizon=horizon))
+    _print_table(
+        f"traffic: retry storm across an 8s edge crash (horizon {horizon:g}s)",
+        ["variant", "offered/s", "recovered/s", "recovery", "retries",
+         "short-circuited", "breaker trips"],
+        [[r["variant"], _round(r["offered_rate"]),
+          _round(r["recovered_goodput"]), _round(r["recovery_ratio"]),
+          r["retries"], r["short_circuited"],
+          r.get("breaker", {}).get("trips", "-")]
+         for r in results])
+    _print_data("traffic: retry-storm", {"results": results})
+    resilient = next(r for r in results if r["variant"] == "resilient")
+    if resilient["recovery_ratio"] < 0.9:
+        _progress(f"\nTRAFFIC GATE: FAIL (post-heal goodput recovered only "
+                  f"{resilient['recovery_ratio']:.0%} of offered)")
+        return 1
+    _progress(f"\nTRAFFIC GATE: OK (budget+breaker recover "
+              f"{resilient['recovery_ratio']:.0%} of offered goodput)")
+    return 0
+
+
 COMMANDS: Dict[str, Callable[[bool], None]] = {
     "maturity": cmd_maturity,
     "landscape": cmd_landscape,
@@ -613,14 +692,16 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("command",
                         choices=sorted(COMMANDS) + ["all", "trace", "monitor",
                                                     "report", "checkpoint",
-                                                    "resume", "replay"],
+                                                    "resume", "replay",
+                                                    "traffic"],
                         help="which experiment to run")
     parser.add_argument("scenario", nargs="?",
                         choices=sorted(set(TRACE_SCENARIOS)
-                                       | set(persistence_scenarios)),
+                                       | set(persistence_scenarios)
+                                       | set(TRAFFIC_SCENARIOS)),
                         default=None,
                         help="scenario for the trace/monitor/report/"
-                             "checkpoint commands")
+                             "checkpoint/traffic commands")
     parser.add_argument("--quick", action="store_true",
                         help="smaller/faster variants of the experiments")
     parser.add_argument("--json", action="store_true",
@@ -654,6 +735,12 @@ def main(argv: List[str] = None) -> int:
             parser.error(f"scenario {args.scenario!r} is not available for "
                          "'checkpoint' (choose from "
                          f"{persistence_scenarios})")
+    elif args.command == "traffic":
+        if args.scenario is None:
+            args.scenario = "overload"
+        elif args.scenario not in TRAFFIC_SCENARIOS:
+            parser.error(f"scenario {args.scenario!r} is not available for "
+                         f"'traffic' (choose from {TRAFFIC_SCENARIOS})")
     if args.out is None:
         args.out = ("checkpoint-out"
                     if args.command in ("checkpoint", "resume", "replay")
@@ -682,6 +769,8 @@ def main(argv: List[str] = None) -> int:
             exit_code = cmd_resume(args.quick, out=args.out, until=args.until)
         elif args.command == "replay":
             exit_code = cmd_replay(args.quick, out=args.out, until=args.until)
+        elif args.command == "traffic":
+            exit_code = cmd_traffic(args.quick, scenario=args.scenario)
         else:
             COMMANDS[args.command](args.quick)
         if _JSON_COLLECTOR is not None:

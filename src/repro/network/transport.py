@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.network.topology import Topology
+from repro.observability.histogram import StreamingHistogram
 from repro.observability.spans import SpanContext, SpanRecorder
 from repro.simulation.kernel import Simulator
 from repro.simulation.trace import TraceLog
@@ -48,21 +49,45 @@ class Message:
 
 @dataclass
 class NetworkStats:
-    """Aggregate transport counters, exposed for experiments."""
+    """Aggregate transport counters, exposed for experiments.
+
+    Beyond the aggregate counters, ``per_kind`` keeps one streaming
+    latency histogram per message kind, so protocol chatter (gossip,
+    raft) and user-facing traffic (``traffic.request``) are separable in
+    exports instead of blurring into one ``mean_latency``.
+    """
 
     sent: int = 0
     delivered: int = 0
     dropped_loss: int = 0
     dropped_unreachable: int = 0
     total_latency: float = 0.0
+    per_kind: Dict[str, StreamingHistogram] = field(default_factory=dict)
 
     @property
-    def delivery_ratio(self) -> float:
-        return self.delivered / self.sent if self.sent else 0.0
+    def delivery_ratio(self) -> Optional[float]:
+        """Delivered fraction, or None when nothing was ever sent.
+
+        None (not a fabricated 0.0) matches the empty-stats convention of
+        :class:`~repro.sweep.SweepCell`: an unused transport is *unknown*,
+        not perfectly lossy.
+        """
+        return self.delivered / self.sent if self.sent else None
 
     @property
-    def mean_latency(self) -> float:
-        return self.total_latency / self.delivered if self.delivered else 0.0
+    def mean_latency(self) -> Optional[float]:
+        """Mean delivery latency, or None when nothing was delivered."""
+        return self.total_latency / self.delivered if self.delivered else None
+
+    def observe_latency(self, kind: str, latency: float) -> None:
+        """Fold one delivery latency into the per-kind histogram."""
+        hist = self.per_kind.get(kind)
+        if hist is None:
+            hist = self.per_kind[kind] = StreamingHistogram()
+        hist.observe(latency)
+
+    def kind_latency(self, kind: str) -> Optional[StreamingHistogram]:
+        return self.per_kind.get(kind)
 
 
 MessageHandler = Callable[[Message], None]
@@ -188,6 +213,7 @@ class Network:
             return
         self.stats.delivered += 1
         self.stats.total_latency += latency
+        self.stats.observe_latency(message.kind, latency)
         spans = self.spans
         if spans is not None and span is not None:
             spans.finish(span, self.sim.now, status="delivered",

@@ -296,6 +296,7 @@ def render_html_report(
     kpi_report: Any,
     slo_monitor: Any = None,
     availability_per_device: Optional[Dict[str, float]] = None,
+    network_kinds: Optional[Dict[str, StreamingHistogram]] = None,
 ) -> str:
     """Build the self-contained HTML resilience report.
 
@@ -336,6 +337,15 @@ def render_html_report(
         parts.append(
             f"<p>{slo_monitor.evaluations} evaluations, "
             f"{slo_monitor.breach_events} breach event(s).</p>")
+
+    if network_kinds:
+        parts.append("<h2>Message latency by kind</h2>")
+        parts.append(_html_table(
+            ["kind", "delivered", "mean (s)", "p50 (s)", "p99 (s)", "max (s)"],
+            [[kind, hist.count, hist.mean, hist.quantile(0.5),
+              hist.quantile(0.99), hist.max]
+             for kind, hist in sorted(network_kinds.items())
+             if hist.count]))
 
     if kpi_report.convergence:
         parts.append("<h2>Protocol convergence</h2>")
@@ -388,11 +398,13 @@ def write_html_report(
     kpi_report: Any,
     slo_monitor: Any = None,
     availability_per_device: Optional[Dict[str, float]] = None,
+    network_kinds: Optional[Dict[str, StreamingHistogram]] = None,
 ) -> int:
     """Write the HTML resilience report; returns bytes written."""
     document = render_html_report(
         title, kpi_report, slo_monitor=slo_monitor,
-        availability_per_device=availability_per_device)
+        availability_per_device=availability_per_device,
+        network_kinds=network_kinds)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(document)
     return len(document.encode("utf-8"))

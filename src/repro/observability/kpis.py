@@ -183,6 +183,7 @@ class KpiReport:
     vectors: Dict[DisruptionVector, VectorKpis] = field(default_factory=dict)
     convergence: Dict[str, Dict[str, float]] = field(default_factory=dict)
     repair_latency: Optional[StreamingHistogram] = None
+    traffic: Optional[Dict[str, Any]] = None    # TrafficRegistry.kpis()
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -192,6 +193,7 @@ class KpiReport:
             "degraded_time": self.degraded_time,
             "violations": self.violations,
             "alerts": self.alerts,
+            "traffic": self.traffic,
             "vectors": {v.value: k.to_dict() for v, k in sorted(
                 self.vectors.items(), key=lambda item: item[0].value)},
             "convergence": self.convergence,
@@ -351,9 +353,14 @@ def compute_kpi_report(
 
 def kpi_report_for_system(system: Any, horizon: Optional[float] = None) -> KpiReport:
     """Convenience wrapper over an :class:`~repro.core.system.IoTSystem`."""
-    return compute_kpi_report(
+    horizon = horizon if horizon is not None else system.sim.now
+    report = compute_kpi_report(
         spans=getattr(system, "spans", None),
         trace=getattr(system, "trace", None),
         metrics=system.metrics,
-        horizon=horizon if horizon is not None else system.sim.now,
+        horizon=horizon,
     )
+    registry = system.sim.context.get("traffic")
+    if registry is not None:
+        report.traffic = registry.kpis(horizon)
+    return report

@@ -148,3 +148,30 @@ def _ensure_builtin() -> None:
         return PreparedRun(system=system,
                            horizon=float(params.get("horizon", FIG3_HORIZON)),
                            aux={"loops": loops, "crash_at": crash_at})
+
+    from repro.traffic.scenarios import (
+        OVERLOAD_HORIZON,
+        RETRY_STORM_HORIZON,
+        prepare_overload,
+        prepare_retry_storm,
+    )
+
+    @register_scenario("traffic-overload")
+    def _traffic_overload(seed: int, params: Dict[str, Any]) -> PreparedRun:
+        """Edge server under 1.6x capacity (default: admission control)."""
+        return prepare_overload(
+            seed=seed or 23,
+            variant=params.get("variant", "admission"),
+            users=int(params.get("users", 8000)),
+            rate_per_user=float(params.get("rate_per_user", 0.04)),
+            horizon=float(params.get("horizon", OVERLOAD_HORIZON)))
+
+    @register_scenario("traffic-retry-storm")
+    def _traffic_retry_storm(seed: int, params: Dict[str, Any]) -> PreparedRun:
+        """Retry amplification across an edge crash (default: resilient)."""
+        return prepare_retry_storm(
+            seed=seed or 29,
+            variant=params.get("variant", "resilient"),
+            users=int(params.get("users", 3500)),
+            rate_per_user=float(params.get("rate_per_user", 0.04)),
+            horizon=float(params.get("horizon", RETRY_STORM_HORIZON)))

@@ -139,3 +139,36 @@ class TestReportCommand:
         assert "# TYPE" in prom
         kpis = json.loads((tmp_path / "kpis.json").read_text())
         assert "kpis" in kpis and "slos" in kpis
+
+
+class TestTrafficCommand:
+    def test_overload_gate_passes(self, capsys):
+        assert main(["traffic", "overload", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "TRAFFIC GATE: OK" in out
+        assert "admission" in out
+
+    def test_retry_storm_gate_passes(self, capsys):
+        assert main(["traffic", "retry-storm", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "TRAFFIC GATE: OK" in out
+
+    def test_json_mode_reports_all_variants(self, capsys):
+        assert main(["traffic", "overload", "--quick", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["exit_code"] == 0
+        data = next(t for t in doc["tables"]
+                    if t.get("title") == "traffic: overload")
+        variants = [r["variant"] for r in data["data"]["results"]]
+        assert variants == ["naive", "admission", "adaptive"]
+
+    def test_json_output_deterministic(self, capsys):
+        assert main(["traffic", "retry-storm", "--quick", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["traffic", "retry-storm", "--quick", "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_unknown_traffic_scenario_exits(self):
+        with pytest.raises(SystemExit):
+            main(["traffic", "mape-outage"])

@@ -12,7 +12,7 @@ from repro.network.topology import (
     build_mesh_topology,
     build_star_topology,
 )
-from repro.network.transport import Network
+from repro.network.transport import Network, NetworkStats
 
 
 class TestLinkProfile:
@@ -181,6 +181,9 @@ class TestTransport:
         sim.run()
         assert network.stats.dropped_unreachable == 1
         assert network.stats.delivery_ratio == 0.0
+        # Empty-stats convention (PR 3 SweepCell): no sends -> None, not 0.0.
+        assert NetworkStats().delivery_ratio is None
+        assert NetworkStats().mean_latency is None
 
     def test_down_destination_drops(self, sim, rngs):
         topo = build_mesh_topology(["a", "b"], rng=rngs.stream("net"))

@@ -42,7 +42,8 @@ def _reference(tmp_path, spec):
 class TestScenarioRegistry:
     def test_builtin_scenarios_registered(self):
         names = scenario_names()
-        for expected in ("control-outage", "mape-outage", "harness-crash"):
+        for expected in ("control-outage", "mape-outage", "harness-crash",
+                         "traffic-overload", "traffic-retry-storm"):
             assert expected in names
 
     def test_unknown_scenario_rejected(self):
@@ -54,6 +55,7 @@ class TestResumeBitwiseIdentity:
     @pytest.mark.parametrize("scenario,at", [
         ("control-outage", 45.0),
         ("mape-outage", 30.0),
+        ("traffic-overload", 14.0),
     ])
     def test_interrupted_resume_matches_uninterrupted(
             self, tmp_path, scenario, at):
