@@ -250,6 +250,76 @@ def bench_traffic(quick: bool) -> Dict[str, float]:
     }
 
 
+def bench_security(quick: bool) -> Dict[str, float]:
+    """Security-plane overhead and the adversary-scenario KPIs.
+
+    The headline number is the cost of the *defense*, not the attack:
+    the same byzantine-gossip topology and workload runs with no
+    security wiring (attack off, plane idle), with the interceptor +
+    auth path enabled on the identical honest workload (``authed``),
+    and fully defended under attack (auth + trust + MAPE, attacker
+    active).  The signing/verify path is budgeted at <=15% overhead on
+    the clean comparison (``overhead_budget_ok``) in both kernel
+    events -- deterministic, auth adds zero events -- and wall time.
+    The wall estimate is the min over back-to-back (off, auth) pairs:
+    scheduler noise only ever *inflates* a leg, so the smallest pair
+    ratio is the closest observation of the intrinsic auth cost.  The
+    0/1 gate is a gross-regression tripwire (e.g. an accidentally
+    quadratic encoding), not a profiler.
+    """
+    from repro.security.scenarios import (
+        prepare_byzantine_gossip,
+        run_byzantine_gossip,
+        run_raft_equivocation,
+        run_sybil_flood,
+    )
+
+    horizon = 8.0 if quick else 24.0
+    reps = 3 if quick else 5
+
+    def one_run(variant: str, authed: bool = False) -> Tuple[float, int]:
+        prepared = prepare_byzantine_gossip(variant=variant, horizon=horizon,
+                                            authed=authed)
+        started = time.perf_counter()
+        prepared.system.run(until=horizon)
+        return time.perf_counter() - started, prepared.system.sim.fired_count
+
+    attack_off_wall = auth_on_wall = attack_on_wall = float("inf")
+    best_ratio = float("inf")
+    for _ in range(reps):
+        off_wall, attack_off_events = one_run("clean")
+        auth_wall, auth_on_events = one_run("clean", authed=True)
+        on_wall, attack_on_events = one_run("defended")
+        attack_off_wall = min(attack_off_wall, off_wall)
+        auth_on_wall = min(auth_on_wall, auth_wall)
+        attack_on_wall = min(attack_on_wall, on_wall)
+        if off_wall > 0:
+            best_ratio = min(best_ratio, auth_wall / off_wall)
+
+    wall_overhead = max(0.0, best_ratio - 1.0)
+    event_overhead = max(0.0, (auth_on_events - attack_off_events)
+                         / attack_off_events if attack_off_events else 0.0)
+
+    gossip = run_byzantine_gossip("defended", horizon=horizon)
+    raft = run_raft_equivocation("defended")
+    flood = run_sybil_flood("defended")
+    return {
+        "wall_s": attack_off_wall,
+        "auth_on.wall_s": auth_on_wall,
+        "attack_on.wall_s": attack_on_wall,
+        "overhead_budget_ok": float(wall_overhead <= 0.15
+                                    and event_overhead <= 0.15),
+        "auth_event_overhead": round(event_overhead, 9),
+        "attack_off_events": float(attack_off_events),
+        "auth_on_events": float(auth_on_events),
+        "attack_on_events": float(attack_on_events),
+        "gossip_quarantined": float(len(gossip["quarantined"])),
+        "raft_safety_ok": float(not raft["safety_violated"]),
+        "flood_goodput": round(flood["goodput"], 9),
+        "flood_sybils": float(flood["sybil_count"]),
+    }
+
+
 SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
     "smart_city": bench_smart_city,
     "mape_outage": bench_mape_outage,
@@ -257,6 +327,7 @@ SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
     "histogram": bench_histogram,
     "persistence": bench_persistence,
     "traffic": bench_traffic,
+    "security": bench_security,
 }
 
 

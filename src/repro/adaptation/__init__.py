@@ -17,17 +17,21 @@ from repro.adaptation.knowledge import DeviceSnapshot, Issue, KnowledgeBase
 from repro.adaptation.actions import (
     Action,
     ActionResult,
+    EvictMemberAction,
     MigrateServiceAction,
     NoopAction,
+    QuarantineAction,
     RebootDeviceAction,
     RerouteTrafficAction,
     RestartServiceAction,
+    RotateKeysAction,
     ShedLoadAction,
 )
 from repro.adaptation.analyzer import (
     Analyzer,
     BackpressureAnalyzer,
     DeviceLivenessAnalyzer,
+    IntrusionAnalyzer,
     ServiceHealthAnalyzer,
     SloAlertAnalyzer,
     StaleKnowledgeAnalyzer,
@@ -50,8 +54,10 @@ __all__ = [
     "BackpressureAnalyzer",
     "DeviceLivenessAnalyzer",
     "DeviceSnapshot",
+    "EvictMemberAction",
     "Executor",
     "InformationSharing",
+    "IntrusionAnalyzer",
     "Issue",
     "KnowledgeBase",
     "KnowledgeConfidence",
@@ -62,11 +68,13 @@ __all__ = [
     "ConfidenceGatedPlanner",
     "Plan",
     "Planner",
+    "QuarantineAction",
     "RebootDeviceAction",
     "RegionalPlanning",
     "RepairModel",
     "RerouteTrafficAction",
     "RestartServiceAction",
+    "RotateKeysAction",
     "ShedLoadAction",
     "RuleBasedPlanner",
     "ServiceHealthAnalyzer",

@@ -94,6 +94,39 @@ class RerouteTrafficAction(Action):
 
 
 @dataclass(frozen=True)
+class QuarantineAction(Action):
+    """Cut a compromised node off at the transport ACL.
+
+    The first intrusion response: traffic from and to ``target`` is
+    dropped, so whatever the attacker is doing stops propagating while
+    keys rotate and membership converges on the eviction.
+    """
+
+    def describe(self) -> str:
+        return f"quarantine {self.target!r}"
+
+
+@dataclass(frozen=True)
+class EvictMemberAction(Action):
+    """Remove ``target`` from coordination memberships and peer lists."""
+
+    def describe(self) -> str:
+        return f"evict {self.target!r} from membership"
+
+
+@dataclass(frozen=True)
+class RotateKeysAction(Action):
+    """Revoke ``target``'s key and rotate everyone else's.
+
+    After rotation the compromised identity cannot produce a valid tag
+    even if it exfiltrated old keys, closing the forgery window.
+    """
+
+    def describe(self) -> str:
+        return f"rotate keys (revoking {self.target!r})"
+
+
+@dataclass(frozen=True)
 class NoopAction(Action):
     """Explicit no-op: the planner decided observation suffices."""
 

@@ -156,6 +156,36 @@ class BackpressureAnalyzer(Analyzer):
         return opened
 
 
+class IntrusionAnalyzer(Analyzer):
+    """Turns trust-collapse facts into ``compromised-node`` issues.
+
+    A :class:`~repro.security.trust.TrustRegistry` attached to this
+    loop's knowledge base (``plane.trust.attach(loop.knowledge)``)
+    appends a fact to ``knowledge.facts["intrusion"]`` the first time a
+    subject's aggregate reputation crosses the distrust threshold; this
+    analyzer drains them -- the same attach pattern as
+    :class:`SloAlertAnalyzer` -- and opens one high-severity issue per
+    subject, which the planner answers with quarantine, eviction and key
+    rotation.
+    """
+
+    def analyze(self, knowledge: KnowledgeBase, now: float) -> List[Issue]:
+        facts = knowledge.facts.pop("intrusion", [])
+        opened: List[Issue] = []
+        for fact in facts:
+            issue = Issue(
+                kind="compromised-node",
+                subject=str(fact.get("subject", "")),
+                detected_at=now,
+                severity=5,
+                detail=(f"trust {fact.get('score', 0.0):.3f} collapsed "
+                        f"below threshold at t={fact.get('at')}"),
+            )
+            if knowledge.open_issue(issue):
+                opened.append(issue)
+        return opened
+
+
 class BatteryAnalyzer(Analyzer):
     """Opens ``battery-low`` issues below a threshold fraction."""
 

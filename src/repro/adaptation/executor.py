@@ -15,11 +15,14 @@ from typing import List, Optional
 from repro.adaptation.actions import (
     Action,
     ActionResult,
+    EvictMemberAction,
     MigrateServiceAction,
     NoopAction,
+    QuarantineAction,
     RebootDeviceAction,
     RerouteTrafficAction,
     RestartServiceAction,
+    RotateKeysAction,
     ShedLoadAction,
 )
 from repro.devices.fleet import DeviceFleet
@@ -75,6 +78,12 @@ class Executor:
             return self._shed(action)
         if isinstance(action, RerouteTrafficAction):
             return self._reroute(action)
+        if isinstance(action, QuarantineAction):
+            return self._quarantine(action)
+        if isinstance(action, EvictMemberAction):
+            return self._evict(action)
+        if isinstance(action, RotateKeysAction):
+            return self._rotate_keys(action)
         return self._done(action, False, f"unknown action {type(action).__name__}")
 
     def _reachable(self, target: str) -> bool:
@@ -159,6 +168,31 @@ class Executor:
                               f"no clients target {action.target!r}")
         return self._done(action, True,
                           f"{moved} client(s) -> {action.destination!r}")
+
+    def _quarantine(self, action: QuarantineAction) -> ActionResult:
+        plane = self.sim.context.get("security")
+        if plane is None:
+            return self._done(action, False, "no security plane in context")
+        if not plane.quarantine_node(action.target):
+            return self._done(action, True, "already quarantined")
+        return self._done(action, True, "transport ACL installed")
+
+    def _evict(self, action: EvictMemberAction) -> ActionResult:
+        plane = self.sim.context.get("security")
+        if plane is None:
+            return self._done(action, False, "no security plane in context")
+        if not plane.evict_member(action.target):
+            return self._done(action, False,
+                              f"{action.target!r} not in any membership")
+        return self._done(action, True, "evicted from memberships")
+
+    def _rotate_keys(self, action: RotateKeysAction) -> ActionResult:
+        plane = self.sim.context.get("security")
+        if plane is None:
+            return self._done(action, False, "no security plane in context")
+        rotated = plane.rotate_keys(revoke=action.target)
+        return self._done(action, True,
+                          f"revoked {action.target!r}, rotated {rotated} keys")
 
     def _done(self, action: Action, success: bool, detail: str) -> ActionResult:
         result = ActionResult(action=action, success=success, detail=detail)

@@ -15,10 +15,13 @@ from typing import Callable, Dict, List, Optional
 
 from repro.adaptation.actions import (
     Action,
+    EvictMemberAction,
     MigrateServiceAction,
+    QuarantineAction,
     RebootDeviceAction,
     RerouteTrafficAction,
     RestartServiceAction,
+    RotateKeysAction,
     ShedLoadAction,
 )
 from repro.adaptation.knowledge import Issue, KnowledgeBase
@@ -126,6 +129,13 @@ class RuleBasedPlanner(Planner):
                 return [RerouteTrafficAction(target=issue.subject,
                                              destination=str(offload))]
             return [ShedLoadAction(target=issue.subject)]
+        if issue.kind == "compromised-node":
+            # Intrusion response ladder, all three rungs at once: cut the
+            # node off at the transport, purge it from coordination
+            # memberships, and invalidate any keys it may have exfiltrated.
+            return [QuarantineAction(target=issue.subject),
+                    EvictMemberAction(target=issue.subject),
+                    RotateKeysAction(target=issue.subject)]
         if issue.kind == "knowledge-stale":
             return []
         return []

@@ -480,13 +480,16 @@ def cmd_report(quick: bool, scenario: str = "smart-city-partition",
     for kind, hist in sorted(per_kind.items()):
         if hist.count:
             histograms[f"network_latency_seconds_{kind}"] = hist
+    per_source = system.network.stats.per_source
     n_bytes = write_html_report(
         html_path, f"Resilience report — {scenario}", report,
         slo_monitor=monitor,
         availability_per_device=availability["per_device"],
-        network_kinds=per_kind)
+        network_kinds=per_kind,
+        per_source=per_source)
     n_lines = write_prometheus(system.metrics, prom_path,
-                               histograms=histograms)
+                               histograms=histograms,
+                               per_source=per_source)
     with open(kpi_path, "w", encoding="utf-8") as fh:
         json.dump({"kpis": report.to_dict(), "slos": monitor.to_dict()},
                   fh, indent=2, sort_keys=True, default=str)
@@ -670,6 +673,144 @@ def cmd_traffic(quick: bool, scenario: str = "overload") -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# security: resilience against an active adversary
+# --------------------------------------------------------------------------- #
+SECURITY_SCENARIOS = ("byzantine-gossip", "sybil-flood", "raft-equivocation")
+
+
+def cmd_security(quick: bool, scenario: str = "byzantine-gossip") -> int:
+    """Run every variant of a security scenario; gate naive-fails/defended-holds.
+
+    ``byzantine-gossip`` fails unless the naive mesh never converges while
+    the defended mesh converges within 2x the clean run and quarantines
+    the equivocator.  ``sybil-flood`` fails unless the naive run collapses
+    below 50% of clean goodput while the defended run holds >=90% with
+    zero sybil members.  ``raft-equivocation`` fails unless the naive run
+    elects two leaders in one term while the defended run keeps exactly
+    one safe leader.
+    """
+    from repro.security.scenarios import (
+        BYZANTINE_GOSSIP_HORIZON,
+        BYZANTINE_GOSSIP_VARIANTS,
+        RAFT_EQUIVOCATION_VARIANTS,
+        SYBIL_FLOOD_VARIANTS,
+        run_byzantine_gossip,
+        run_raft_equivocation,
+        run_sybil_flood,
+    )
+
+    def _round(value: object) -> object:
+        return round(value, 4) if isinstance(value, float) else value
+
+    if scenario == "byzantine-gossip":
+        horizon = 12.0 if quick else BYZANTINE_GOSSIP_HORIZON
+        results = []
+        for variant in BYZANTINE_GOSSIP_VARIANTS:
+            _progress(f"running byzantine-gossip variant {variant!r}...")
+            results.append(run_byzantine_gossip(variant, horizon=horizon))
+        _print_table(
+            f"security: byzantine gossip (horizon {horizon:g}s)",
+            ["variant", "converged", "converged at (s)", "honest values",
+             "quarantined", "auth drops"],
+            [[r["variant"], r["converged"], _round(r["converged_at"]),
+              len(r["honest_values"]), ",".join(r["quarantined"]) or "-",
+              r["security"]["dropped_auth"]] for r in results])
+        _print_data("security: byzantine-gossip", {"results": results})
+        by = {r["variant"]: r for r in results}
+        clean, naive, defended = (by[v] for v in BYZANTINE_GOSSIP_VARIANTS)
+        failures = []
+        if naive["converged"]:
+            failures.append("naive mesh converged despite the equivocator")
+        if not defended["converged"]:
+            failures.append("defended mesh never converged")
+        elif defended["converged_at"] > 2.0 * clean["converged_at"]:
+            failures.append(
+                f"defended convergence {defended['converged_at']:.1f}s "
+                f"exceeds 2x clean ({clean['converged_at']:.1f}s)")
+        if naive["attacker"] not in defended["quarantined"]:
+            failures.append("defended run did not quarantine the attacker")
+        if failures:
+            _progress("\nSECURITY GATE: FAIL (" + "; ".join(failures) + ")")
+            return 1
+        _progress(f"\nSECURITY GATE: OK (defended converges at "
+                  f"{defended['converged_at']:.1f}s vs clean "
+                  f"{clean['converged_at']:.1f}s; naive never converges)")
+        return 0
+
+    if scenario == "sybil-flood":
+        results = []
+        for variant in SYBIL_FLOOD_VARIANTS:
+            _progress(f"running sybil-flood variant {variant!r}...")
+            results.append(run_sybil_flood(variant))
+        _print_table(
+            "security: sybil flood against an edge server",
+            ["variant", "offered/s", "goodput/s", "success", "sybils",
+             "attacker msgs", "quarantined"],
+            [[r["variant"], _round(r["offered_rate"]), _round(r["goodput"]),
+              _round(r["success_ratio"]), r["sybil_count"],
+              r["attacker_messages"], ",".join(r["quarantined"]) or "-"]
+             for r in results])
+        _print_data("security: sybil-flood", {"results": results})
+        by = {r["variant"]: r for r in results}
+        clean, naive, defended = (by[v] for v in SYBIL_FLOOD_VARIANTS)
+        failures = []
+        if naive["goodput"] >= 0.5 * clean["goodput"]:
+            failures.append("naive run did not collapse under the flood")
+        if defended["goodput"] < 0.9 * clean["goodput"]:
+            failures.append(
+                f"defended goodput {defended['goodput']:.1f}/s is below "
+                f"90% of clean ({clean['goodput']:.1f}/s)")
+        if defended["sybil_count"]:
+            failures.append(
+                f"defended membership admitted {defended['sybil_count']} "
+                "sybil identities")
+        if not naive["sybil_count"]:
+            failures.append("naive membership rejected the sybils "
+                            "(attack had no teeth)")
+        if failures:
+            _progress("\nSECURITY GATE: FAIL (" + "; ".join(failures) + ")")
+            return 1
+        _progress(f"\nSECURITY GATE: OK (defended holds "
+                  f"{defended['goodput'] / clean['goodput']:.0%} of clean "
+                  f"goodput; naive collapses to "
+                  f"{naive['goodput'] / clean['goodput']:.0%})")
+        return 0
+
+    results = []
+    for variant in RAFT_EQUIVOCATION_VARIANTS:
+        _progress(f"running raft-equivocation variant {variant!r}...")
+        results.append(run_raft_equivocation(variant))
+    _print_table(
+        "security: raft equivocation with f=2 of n=5 compromised",
+        ["variant", "elections won", "double-win terms", "safety",
+         "final leaders", "quarantined"],
+        [[r["variant"], r["elections_won"],
+          ",".join(str(t) for t in r["double_wins"]) or "-",
+          "VIOLATED" if r["safety_violated"] else "safe",
+          ",".join(r["final_leaders"]) or "-",
+          ",".join(r["quarantined"]) or "-"] for r in results])
+    _print_data("security: raft-equivocation", {"results": results})
+    by = {r["variant"]: r for r in results}
+    naive, defended = (by[v] for v in RAFT_EQUIVOCATION_VARIANTS)
+    failures = []
+    if not naive["safety_violated"]:
+        failures.append("naive run never double-elected "
+                        "(attack had no teeth)")
+    if defended["safety_violated"]:
+        failures.append("defended run elected two leaders in one term")
+    if not defended["leader_elected"]:
+        failures.append("defended run never elected a leader")
+    if failures:
+        _progress("\nSECURITY GATE: FAIL (" + "; ".join(failures) + ")")
+        return 1
+    _progress(f"\nSECURITY GATE: OK (naive double-elects in "
+              f"{len(naive['double_wins'])} term(s); defended keeps one "
+              f"safe leader and quarantines "
+              f"{','.join(defended['quarantined'])})")
+    return 0
+
+
 COMMANDS: Dict[str, Callable[[bool], None]] = {
     "maturity": cmd_maturity,
     "landscape": cmd_landscape,
@@ -693,15 +834,16 @@ def main(argv: List[str] = None) -> int:
                         choices=sorted(COMMANDS) + ["all", "trace", "monitor",
                                                     "report", "checkpoint",
                                                     "resume", "replay",
-                                                    "traffic"],
+                                                    "traffic", "security"],
                         help="which experiment to run")
     parser.add_argument("scenario", nargs="?",
                         choices=sorted(set(TRACE_SCENARIOS)
                                        | set(persistence_scenarios)
-                                       | set(TRAFFIC_SCENARIOS)),
+                                       | set(TRAFFIC_SCENARIOS)
+                                       | set(SECURITY_SCENARIOS)),
                         default=None,
                         help="scenario for the trace/monitor/report/"
-                             "checkpoint/traffic commands")
+                             "checkpoint/traffic/security commands")
     parser.add_argument("--quick", action="store_true",
                         help="smaller/faster variants of the experiments")
     parser.add_argument("--json", action="store_true",
@@ -741,6 +883,12 @@ def main(argv: List[str] = None) -> int:
         elif args.scenario not in TRAFFIC_SCENARIOS:
             parser.error(f"scenario {args.scenario!r} is not available for "
                          f"'traffic' (choose from {TRAFFIC_SCENARIOS})")
+    elif args.command == "security":
+        if args.scenario is None:
+            args.scenario = "byzantine-gossip"
+        elif args.scenario not in SECURITY_SCENARIOS:
+            parser.error(f"scenario {args.scenario!r} is not available for "
+                         f"'security' (choose from {SECURITY_SCENARIOS})")
     if args.out is None:
         args.out = ("checkpoint-out"
                     if args.command in ("checkpoint", "resume", "replay")
@@ -771,6 +919,8 @@ def main(argv: List[str] = None) -> int:
             exit_code = cmd_replay(args.quick, out=args.out, until=args.until)
         elif args.command == "traffic":
             exit_code = cmd_traffic(args.quick, scenario=args.scenario)
+        elif args.command == "security":
+            exit_code = cmd_security(args.quick, scenario=args.scenario)
         else:
             COMMANDS[args.command](args.quick)
         if _JSON_COLLECTOR is not None:

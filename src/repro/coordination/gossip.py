@@ -52,6 +52,7 @@ class GossipNode:
         period: float = 1.0,
         fanout: int = 1,
         on_update: Optional[Callable[[str, GossipValue], None]] = None,
+        evidence: Optional[Callable[[str, str], None]] = None,
     ) -> None:
         if fanout < 1:
             raise ValueError("fanout must be >= 1")
@@ -63,6 +64,10 @@ class GossipNode:
         self.period = period
         self.fanout = fanout
         self.on_update = on_update
+        # Optional security hook: called as ``evidence(subject, kind)``
+        # when a merge observes an owner equivocating (two different
+        # values at the same version from the same owner).
+        self.evidence = evidence
         self._state: Dict[str, GossipValue] = {}
         self._running = False
         self._tick_event = None
@@ -170,6 +175,15 @@ class GossipNode:
         for key, value, version, owner in remote_state:
             incoming = GossipValue(value=value, version=version, owner=owner)
             current = self._state.get(key)
+            if (self.evidence is not None and current is not None
+                    and incoming.version == current.version
+                    and incoming.owner == current.owner
+                    and incoming.value != current.value):
+                # Two values, one version, one owner: the owner told
+                # different peers different stories.  The CRDT-ish merge
+                # below keeps our copy (neither dominates), so without
+                # this hook the split-brain would be silent.
+                self.evidence(owner, "equivocation")
             if current is None or incoming.dominates(current):
                 self._state[key] = incoming
                 if self.on_update is not None:

@@ -62,6 +62,9 @@ class MembershipProtocol:
         indirect_probes: int = 2,
         piggyback_count: int = 6,
         on_change: Optional[Callable[[str, MemberState], None]] = None,
+        update_filter: Optional[Callable[[Optional[str], str, str, int], bool]] = None,
+        evidence: Optional[Callable[[str, str], None]] = None,
+        max_incarnation_jump: Optional[int] = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -73,6 +76,13 @@ class MembershipProtocol:
         self.indirect_probes = indirect_probes
         self.piggyback_count = piggyback_count
         self.on_change = on_change
+        # Security hooks (all optional, default-off): ``update_filter``
+        # gates adoption of unknown members, ``evidence`` reports
+        # suspicious carriers to a trust registry, ``max_incarnation_jump``
+        # rejects forged sequence numbers.
+        self.update_filter = update_filter
+        self.evidence = evidence
+        self.max_incarnation_jump = max_incarnation_jump
         self.incarnation = 0
         self._members: Dict[str, _MemberInfo] = {
             node_id: _MemberInfo(MemberState.ALIVE, 0, sim.now)
@@ -106,6 +116,18 @@ class MembershipProtocol:
 
     def stop(self) -> None:
         self._running = False
+
+    def evict(self, node: str) -> bool:
+        """Administratively declare ``node`` dead (intrusion response).
+
+        The eviction disseminates through normal piggybacking at a bumped
+        incarnation, so peers adopt it over the member's last ALIVE state.
+        """
+        info = self._members.get(node)
+        if node == self.node_id or info is None or info.state == MemberState.DEAD:
+            return False
+        self._set_state(node, MemberState.DEAD, info.incarnation + 1)
+        return True
 
     def members(self, state: Optional[MemberState] = None) -> List[str]:
         if state is None:
@@ -230,7 +252,7 @@ class MembershipProtocol:
 
     def _dispatch(self, message: Message) -> None:
         payload = message.payload or {}
-        self._apply_updates(payload.get("updates", ()))
+        self._apply_updates(payload.get("updates", ()), src=message.src)
         kind = message.kind
         if kind == "swim.ping":
             # Echo proxy bookkeeping so the proxy can route the ack home.
@@ -275,7 +297,7 @@ class MembershipProtocol:
             inc = info.incarnation if info else 0
             self._set_state(node, MemberState.ALIVE, inc)
 
-    def _apply_updates(self, updates) -> None:
+    def _apply_updates(self, updates, src: Optional[str] = None) -> None:
         for node, state_str, incarnation in updates:
             if node == self.node_id:
                 # Refute suspicion of ourselves with a higher incarnation.
@@ -283,11 +305,29 @@ class MembershipProtocol:
                         and incarnation >= self.incarnation:
                     self.incarnation = incarnation + 1
                     self._set_state(self.node_id, MemberState.ALIVE, self.incarnation)
+                    if self.evidence is not None and src is not None:
+                        # Someone is spreading rumors of our demise; the
+                        # carrier earns distrust whether it originated the
+                        # forgery or merely relayed it.
+                        self.evidence(src, "refuted-piggyback")
                 continue
             incoming = MemberState(state_str)
             info = self._members.get(node)
             if info is None:
+                # Unknown member: a join.  With an update filter installed,
+                # joins are trust-gated (known identity, trusted carrier);
+                # rejected joins are simply not adopted.
+                if self.update_filter is not None and not self.update_filter(
+                        src, node, state_str, incarnation):
+                    continue
                 self._set_state(node, incoming, incarnation)
+                continue
+            if self.max_incarnation_jump is not None and \
+                    incarnation > info.incarnation + self.max_incarnation_jump:
+                # Incarnations advance by one per refutation; a huge jump
+                # is a forged sequence number, not a fast node.
+                if self.evidence is not None and src is not None:
+                    self.evidence(src, "impossible-incarnation")
                 continue
             if incarnation > info.incarnation:
                 self._set_state(node, incoming, incarnation)

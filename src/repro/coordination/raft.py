@@ -65,6 +65,7 @@ class RaftNode:
         heartbeat_interval: float = 0.5,
         election_timeout: tuple = (1.5, 3.0),
         apply: Optional[Callable[[int, Any], None]] = None,
+        evidence: Optional[Callable[[str, str], None]] = None,
     ) -> None:
         if election_timeout[0] <= heartbeat_interval * 2:
             raise ValueError("election timeout must be well above heartbeat interval")
@@ -99,6 +100,12 @@ class RaftNode:
         self._running = False
         self._tick_event = None
         self.elections_won = 0
+        # Terms this node won an election in: the post-hoc leader-safety
+        # record (any term appearing in two nodes' lists is a violation).
+        self.won_terms: List[int] = []
+        # Optional security hook: ``evidence(subject, kind)`` on a second
+        # leadership claim in the current term.
+        self.evidence = evidence
         self._election_span = None
 
         for kind in ("raft.request_vote", "raft.vote_reply",
@@ -192,6 +199,7 @@ class RaftNode:
             self.role = RaftRole.LEADER
             self.leader_id = self.node_id
             self.elections_won += 1
+            self.won_terms.append(self.current_term)
             self._close_election_span("won")
             next_idx = len(self.log) + 1
             self.next_index = {p: next_idx for p in self.peers}
@@ -304,6 +312,13 @@ class RaftNode:
         if term < self.current_term:
             self._reply_append(payload["leader"], success=False, match_index=0)
             return
+        if (self.evidence is not None and term == self.current_term
+                and self.leader_id not in (None, payload["leader"])):
+            # A second node claims leadership of the term we already have
+            # a leader for -- somebody's quorum was forged.  Report the
+            # observation; which claimant lied is for the trust layer to
+            # weigh across vantage points.
+            self.evidence(payload["leader"], "conflicting-leader")
         # Valid leader for this term.
         self.role = RaftRole.FOLLOWER
         self.leader_id = payload["leader"]
@@ -410,6 +425,7 @@ class RaftNode:
             "votes_received": sorted(self._votes_received),
             "election_deadline": self._election_deadline,
             "elections_won": self.elections_won,
+            "won_terms": list(self.won_terms),
             "running": self._running,
             "rng": serialize_rng_state(self.rng),
             "tick": event_ref(self._tick_event),
@@ -428,6 +444,7 @@ class RaftNode:
         self._votes_received = set(state["votes_received"])
         self._election_deadline = float(state["election_deadline"])
         self.elections_won = int(state["elections_won"])
+        self.won_terms = [int(t) for t in state.get("won_terms", ())]
         self._running = bool(state["running"])
         restore_rng_state(self.rng, state["rng"])
         self._tick_event = restore_event_ref(self.sim, state["tick"],

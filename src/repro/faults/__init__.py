@@ -10,6 +10,8 @@ disruption class the paper names:
 * non-persistent cloud connectivity -> partitions and latency spikes
 * transfer of administrative domains -> :class:`~repro.faults.models.DomainTransferFault`
 * untrusted circumstances -> :class:`~repro.faults.models.AdversarialEnvironmentFault`
+* active compromise -> :class:`~repro.faults.models.NodeCompromiseFault`
+  (the device runs attack behaviors from :mod:`repro.security`)
 * resource constraints -> battery depletion
 
 Disruptions are either scheduled explicitly (:class:`~repro.faults.schedule.DisruptionSchedule`)
@@ -26,6 +28,7 @@ from repro.faults.models import (
     Fault,
     LatencySpikeFault,
     LinkFailureFault,
+    NodeCompromiseFault,
     PartitionFault,
     ServiceFailureFault,
 )
@@ -43,6 +46,7 @@ __all__ = [
     "FaultInjector",
     "LatencySpikeFault",
     "LinkFailureFault",
+    "NodeCompromiseFault",
     "PartitionFault",
     "RandomDisruptionGenerator",
     "ServiceFailureFault",

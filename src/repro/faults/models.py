@@ -228,8 +228,58 @@ class AdversarialEnvironmentFault(Fault):
         device = injector.fleet.get(self.device_id)
         device.environment_trusted = False
         injector.trace_emit("fault", "environment-untrusted", subject=self.device_id)
+        injector.trace_emit("security", "environment-untrusted",
+                            subject=self.device_id)
+        plane = injector.sim.context.get("security")
+        if plane is not None:
+            # Register with the trust plane so the adversarial-vector KPI
+            # breakdown attributes this device, and start it at a reduced
+            # (but not distrusted) standing from the environment's vantage.
+            plane.trust.register(self.device_id,
+                                 reason="environment-untrusted")
+            plane.trust.record("environment", self.device_id,
+                               "environment-untrusted")
 
     def revert(self, injector) -> None:
         device = injector.fleet.get(self.device_id)
         device.environment_trusted = True
         injector.trace_emit("recovery", "environment-trusted", subject=self.device_id)
+
+
+@dataclass
+class NodeCompromiseFault(Fault):
+    """A device falls under adversary control and starts *attacking* (§I).
+
+    Supersedes the passive :class:`AdversarialEnvironmentFault` flag: the
+    device's transport stack runs the supplied
+    :class:`~repro.security.adversary.AttackBehavior` list until the
+    fault reverts (or forever, for permanent compromise).  Requires a
+    :class:`~repro.security.plane.SecurityPlane` on the system; the
+    scenario builder constructs both, so a missing plane is a
+    configuration error, mirroring :class:`PartitionFault`'s contract.
+    """
+
+    device_id: str = ""
+    behaviors: list = field(default_factory=list)
+
+    def apply(self, injector) -> None:
+        plane = injector.sim.context.get("security")
+        if plane is None:
+            raise RuntimeError(
+                "NodeCompromiseFault requires a SecurityPlane "
+                "(sim.context['security']); build one before injecting")
+        device = injector.fleet.get(self.device_id)
+        device.environment_trusted = False
+        plane.adversary.compromise(self.device_id, self.behaviors)
+        injector.trace_emit("security", "node-compromised",
+                            subject=self.device_id,
+                            behaviors=[b.slug for b in self.behaviors])
+
+    def revert(self, injector) -> None:
+        plane = injector.sim.context.get("security")
+        if plane is not None:
+            plane.adversary.release(self.device_id)
+        device = injector.fleet.get(self.device_id)
+        device.environment_trusted = True
+        injector.trace_emit("security", "node-released",
+                            subject=self.device_id)

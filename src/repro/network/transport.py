@@ -45,6 +45,10 @@ class Message:
     msg_id: int = field(default=-1)
     sent_at: float = field(default=0.0)
     span: Optional[SpanContext] = field(default=None, compare=False)
+    # Message-authentication tag (set by a signing interceptor, checked by
+    # the delivery verifier).  None means "unauthenticated" -- whether that
+    # is acceptable is the verifier's policy, not the transport's.
+    auth: Optional[str] = field(default=None, compare=False)
 
 
 @dataclass
@@ -61,8 +65,14 @@ class NetworkStats:
     delivered: int = 0
     dropped_loss: int = 0
     dropped_unreachable: int = 0
+    dropped_quarantined: int = 0
+    dropped_auth: int = 0
+    dropped_intercepted: int = 0
     total_latency: float = 0.0
     per_kind: Dict[str, StreamingHistogram] = field(default_factory=dict)
+    # Per-sender [messages, bytes] totals: the observable substrate for
+    # flooding detection (and a useful traffic-attribution export).
+    per_source: Dict[str, List[int]] = field(default_factory=dict)
 
     @property
     def delivery_ratio(self) -> Optional[float]:
@@ -78,6 +88,14 @@ class NetworkStats:
     def mean_latency(self) -> Optional[float]:
         """Mean delivery latency, or None when nothing was delivered."""
         return self.total_latency / self.delivered if self.delivered else None
+
+    def observe_source(self, src: str, size_bytes: int) -> None:
+        """Fold one send into the per-source [messages, bytes] totals."""
+        entry = self.per_source.get(src)
+        if entry is None:
+            entry = self.per_source[src] = [0, 0]
+        entry[0] += 1
+        entry[1] += size_bytes
 
     def observe_latency(self, kind: str, latency: float) -> None:
         """Fold one delivery latency into the per-kind histogram."""
@@ -115,6 +133,17 @@ class Network:
         # Nodes marked down drop all traffic addressed to or relayed
         # through them; device crash faults use this switch.
         self._down_nodes: set = set()
+        # Send-side interceptor chain (see :meth:`add_interceptor`).  The
+        # security plane installs its signer first and attack behaviors
+        # after it, so a compromised node's tampering happens *below* the
+        # legitimate signing layer and breaks the signature.
+        self._interceptors: List[Callable[[Message], Any]] = []
+        # Delivery-side authenticity check: ``verifier(message) -> bool``.
+        # False drops the message with reason ``"auth"``.
+        self.verifier: Optional[Callable[[Message], bool]] = None
+        # Transport ACL: traffic from or to a quarantined node is dropped
+        # at dispatch (and at delivery, for messages already in flight).
+        self._quarantined: set = set()
 
     # -- endpoint management ---------------------------------------------- #
     def register(self, node: str, kind: str, handler: MessageHandler) -> None:
@@ -137,6 +166,38 @@ class Network:
     def node_up(self, node: str) -> bool:
         return node not in self._down_nodes
 
+    # -- security hooks ---------------------------------------------------- #
+    def add_interceptor(self, interceptor: Callable[[Message], Any]) -> None:
+        """Append a send-side interceptor.
+
+        Interceptors run in installation order on every :meth:`send`,
+        before routing.  Each receives the :class:`Message` and may mutate
+        it (replace ``payload``, set ``auth``).  Return values: ``None``
+        passes the message on, the string ``"drop"`` discards it (counted
+        as ``dropped_intercepted``), and a float adds that much extra
+        delivery delay.  With no interceptors installed the send path is
+        byte-identical to the pre-security transport.
+        """
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: Callable[[Message], Any]) -> None:
+        if interceptor in self._interceptors:
+            self._interceptors.remove(interceptor)
+
+    def quarantine(self, node: str) -> None:
+        """Drop all traffic from or to ``node`` (transport-level ACL)."""
+        self._quarantined.add(node)
+
+    def unquarantine(self, node: str) -> None:
+        self._quarantined.discard(node)
+
+    def is_quarantined(self, node: str) -> bool:
+        return node in self._quarantined
+
+    @property
+    def quarantined_nodes(self) -> List[str]:
+        return sorted(self._quarantined)
+
     # -- sending ---------------------------------------------------------- #
     def send(
         self,
@@ -157,6 +218,8 @@ class Network:
             sent_at=self.sim.now,
         )
         self.stats.sent += 1
+        self.stats.observe_source(src, size_bytes)
+        span = None
         spans = self.spans
         if spans is not None:
             # The send span inherits whatever the sender is doing (a MAPE
@@ -167,12 +230,23 @@ class Network:
                 src=src, dst=dst, msg_id=message.msg_id,
             )
             message.span = span.context
-            self._dispatch(message, span)
-        else:
-            self._dispatch(message, None)
+        extra_delay = 0.0
+        for interceptor in self._interceptors:
+            outcome = interceptor(message)
+            if outcome is None:
+                continue
+            if outcome == "drop":
+                self._drop(message, "intercepted", span)
+                return message
+            extra_delay += float(outcome)
+        self._dispatch(message, span, extra_delay)
         return message
 
-    def _dispatch(self, message: Message, span) -> None:
+    def _dispatch(self, message: Message, span, extra_delay: float = 0.0) -> None:
+        if self._quarantined and (message.src in self._quarantined
+                                  or message.dst in self._quarantined):
+            self._drop(message, "quarantined", span)
+            return
         if message.src in self._down_nodes or message.dst in self._down_nodes:
             self._drop(message, "unreachable", span)
             return
@@ -192,6 +266,7 @@ class Network:
                 self._drop(message, "loss", span)
                 return
             total_latency += link.model.sample_latency(message.size_bytes)
+        total_latency += extra_delay
         self.sim.schedule(
             total_latency,
             lambda _s, m=message, lat=total_latency, sp=span: self._deliver(m, lat, sp),
@@ -203,6 +278,15 @@ class Network:
         # crashed while the message was in flight.
         if message.dst in self._down_nodes:
             self._drop(message, "unreachable", span)
+            return
+        if self._quarantined and (message.src in self._quarantined
+                                  or message.dst in self._quarantined):
+            # In-flight messages to or from a node quarantined after the
+            # send are still subject to the ACL.
+            self._drop(message, "quarantined", span)
+            return
+        if self.verifier is not None and not self.verifier(message):
+            self._drop(message, "auth", span)
             return
         handlers = self._handlers.get(message.dst)
         handler = None
@@ -228,6 +312,12 @@ class Network:
     def _drop(self, message: Message, reason: str, span=None) -> None:
         if reason == "loss":
             self.stats.dropped_loss += 1
+        elif reason == "quarantined":
+            self.stats.dropped_quarantined += 1
+        elif reason == "auth":
+            self.stats.dropped_auth += 1
+        elif reason == "intercepted":
+            self.stats.dropped_intercepted += 1
         else:
             self.stats.dropped_unreachable += 1
         if span is not None and self.spans is not None:

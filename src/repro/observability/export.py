@@ -192,6 +192,7 @@ def prometheus_text(
     metrics: MetricsRecorder,
     histograms: Optional[Dict[str, StreamingHistogram]] = None,
     prefix: str = "repro_",
+    per_source: Optional[Dict[str, List[int]]] = None,
 ) -> str:
     """Render recorder state in the Prometheus text exposition format.
 
@@ -199,9 +200,21 @@ def prometheus_text(
     a ``summary`` (count/sum-free: quantile gauges from the recorder's
     nearest-rank percentiles plus ``_count``); streaming histograms
     become classic cumulative-``le`` ``histogram`` metrics that
-    downstream aggregation can sum across runs.
+    downstream aggregation can sum across runs.  ``per_source`` (the
+    transport's :attr:`NetworkStats.per_source` map) adds per-sender
+    ``src``-labeled message/byte counters -- the attribution substrate
+    flooding detection reads.
     """
     lines: List[str] = []
+    if per_source:
+        msg_metric = prefix + "network_source_messages_total"
+        byte_metric = prefix + "network_source_bytes_total"
+        lines.append(f"# TYPE {msg_metric} counter")
+        for src in sorted(per_source):
+            lines.append(f'{msg_metric}{{src="{src}"}} {per_source[src][0]}')
+        lines.append(f"# TYPE {byte_metric} counter")
+        for src in sorted(per_source):
+            lines.append(f'{byte_metric}{{src="{src}"}} {per_source[src][1]}')
     for name in metrics.counter_names:
         metric = _prom_name(name, prefix)
         lines.append(f"# TYPE {metric} counter")
@@ -238,9 +251,11 @@ def write_prometheus(
     path: PathLike,
     histograms: Optional[Dict[str, StreamingHistogram]] = None,
     prefix: str = "repro_",
+    per_source: Optional[Dict[str, List[int]]] = None,
 ) -> int:
     """Write the Prometheus exposition; returns the number of lines."""
-    text = prometheus_text(metrics, histograms=histograms, prefix=prefix)
+    text = prometheus_text(metrics, histograms=histograms, prefix=prefix,
+                           per_source=per_source)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
     return text.count("\n")
@@ -297,6 +312,7 @@ def render_html_report(
     slo_monitor: Any = None,
     availability_per_device: Optional[Dict[str, float]] = None,
     network_kinds: Optional[Dict[str, StreamingHistogram]] = None,
+    per_source: Optional[Dict[str, List[int]]] = None,
 ) -> str:
     """Build the self-contained HTML resilience report.
 
@@ -346,6 +362,32 @@ def render_html_report(
               hist.quantile(0.99), hist.max]
              for kind, hist in sorted(network_kinds.items())
              if hist.count]))
+
+    if per_source:
+        total_msgs = sum(entry[0] for entry in per_source.values()) or 1
+        parts.append("<h2>Messages by source</h2>")
+        parts.append(_html_table(
+            ["source", "messages", "bytes", "share"],
+            [[src, entry[0], entry[1], f"{entry[0] / total_msgs:.1%}"]
+             for src, entry in sorted(per_source.items(),
+                                      key=lambda kv: -kv[1][0])]))
+
+    security = getattr(kpi_report, "security", None)
+    if security:
+        parts.append("<h2>Security</h2>")
+        parts.append(_html_table(
+            ["signal", "value"],
+            [["compromised nodes", ", ".join(security.get("compromised", [])) or "-"],
+             ["quarantined nodes", ", ".join(security.get("quarantined", [])) or "-"],
+             ["distrusted nodes", ", ".join(security.get("distrusted", [])) or "-"],
+             ["key rotations", security.get("key_rotations", 0)],
+             ["auth drops", security.get("dropped_auth", 0)],
+             ["quarantine drops", security.get("dropped_quarantined", 0)]]))
+        trust = security.get("trust") or {}
+        if trust:
+            parts.append(_html_table(
+                ["node", "aggregate trust"],
+                [[node, f"{score:.3f}"] for node, score in sorted(trust.items())]))
 
     if kpi_report.convergence:
         parts.append("<h2>Protocol convergence</h2>")
@@ -399,12 +441,13 @@ def write_html_report(
     slo_monitor: Any = None,
     availability_per_device: Optional[Dict[str, float]] = None,
     network_kinds: Optional[Dict[str, StreamingHistogram]] = None,
+    per_source: Optional[Dict[str, List[int]]] = None,
 ) -> int:
     """Write the HTML resilience report; returns bytes written."""
     document = render_html_report(
         title, kpi_report, slo_monitor=slo_monitor,
         availability_per_device=availability_per_device,
-        network_kinds=network_kinds)
+        network_kinds=network_kinds, per_source=per_source)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(document)
     return len(document.encode("utf-8"))

@@ -45,6 +45,7 @@ VECTOR_BY_FAULT_TYPE: Dict[str, str] = {
     "BatteryDepletionFault": "operations",
     "DomainTransferFault": "data",
     "AdversarialEnvironmentFault": "data",
+    "NodeCompromiseFault": "data",
 }
 
 
@@ -184,6 +185,7 @@ class KpiReport:
     convergence: Dict[str, Dict[str, float]] = field(default_factory=dict)
     repair_latency: Optional[StreamingHistogram] = None
     traffic: Optional[Dict[str, Any]] = None    # TrafficRegistry.kpis()
+    security: Optional[Dict[str, Any]] = None   # SecurityPlane.kpis()
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -194,6 +196,7 @@ class KpiReport:
             "violations": self.violations,
             "alerts": self.alerts,
             "traffic": self.traffic,
+            "security": self.security,
             "vectors": {v.value: k.to_dict() for v, k in sorted(
                 self.vectors.items(), key=lambda item: item[0].value)},
             "convergence": self.convergence,
@@ -363,4 +366,7 @@ def kpi_report_for_system(system: Any, horizon: Optional[float] = None) -> KpiRe
     registry = system.sim.context.get("traffic")
     if registry is not None:
         report.traffic = registry.kpis(horizon)
+    plane = system.sim.context.get("security")
+    if plane is not None:
+        report.security = plane.kpis(horizon)
     return report

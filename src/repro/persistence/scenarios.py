@@ -175,3 +175,36 @@ def _ensure_builtin() -> None:
             users=int(params.get("users", 3500)),
             rate_per_user=float(params.get("rate_per_user", 0.04)),
             horizon=float(params.get("horizon", RETRY_STORM_HORIZON)))
+
+    from repro.security.scenarios import (
+        BYZANTINE_GOSSIP_HORIZON,
+        RAFT_EQUIVOCATION_HORIZON,
+        SYBIL_FLOOD_HORIZON,
+        prepare_byzantine_gossip,
+        prepare_raft_equivocation,
+        prepare_sybil_flood,
+    )
+
+    @register_scenario("security-byzantine-gossip")
+    def _security_byzantine(seed: int, params: Dict[str, Any]) -> PreparedRun:
+        """A gossiping site equivocates (default: defended mesh)."""
+        return prepare_byzantine_gossip(
+            seed=seed or 37,
+            variant=params.get("variant", "defended"),
+            horizon=float(params.get("horizon", BYZANTINE_GOSSIP_HORIZON)))
+
+    @register_scenario("security-raft-equivocation")
+    def _security_raft(seed: int, params: Dict[str, Any]) -> PreparedRun:
+        """Two Raft voters grant every candidate (default: defended)."""
+        return prepare_raft_equivocation(
+            seed=seed or 41,
+            variant=params.get("variant", "defended"),
+            horizon=float(params.get("horizon", RAFT_EQUIVOCATION_HORIZON)))
+
+    @register_scenario("security-sybil-flood")
+    def _security_sybil(seed: int, params: Dict[str, Any]) -> PreparedRun:
+        """A compromised peer floods and forges joins (default: defended)."""
+        return prepare_sybil_flood(
+            seed=seed or 43,
+            variant=params.get("variant", "defended"),
+            horizon=float(params.get("horizon", SYBIL_FLOOD_HORIZON)))

@@ -110,7 +110,9 @@ def system_digest_state(system) -> Dict[str, Any]:
             for name, state in rngs["streams"].items()
         },
         "network": [stats.sent, stats.delivered, stats.dropped_loss,
-                    stats.dropped_unreachable, stats.total_latency],
+                    stats.dropped_unreachable, stats.total_latency,
+                    stats.dropped_quarantined, stats.dropped_auth,
+                    stats.dropped_intercepted],
         "fleet": {d.device_id: bool(d.up) for d in system.fleet.devices},
         "faults": {
             "injected": [f.name for f in system.injector.injected],
