@@ -18,6 +18,7 @@ Usage::
     python benchmarks/regress.py --quick --out benchmarks/baselines
     python benchmarks/regress.py --compare A.json B.json  # no runs
     python benchmarks/regress.py --baseline benchmarks/baselines/BENCH_1.json
+    python benchmarks/regress.py --trajectory             # drift across snapshots
     python benchmarks/regress.py --self-test              # detection check
 
 Exit status: 0 clean, 1 when a comparison detects a regression (or the
@@ -320,6 +321,109 @@ def bench_security(quick: bool) -> Dict[str, float]:
     }
 
 
+def bench_observability(quick: bool) -> Dict[str, float]:
+    """Telemetry recording cost on the kernel hot loop, full vs sampled.
+
+    A synthetic gateway poll loop: every event aggregates a batch of
+    sensor readings (the real work), every 16th event rolls the current
+    poll-round span and batches the tick counter via the
+    ``counter_adder`` fast path, and -- when the round's span was kept
+    -- every event records a metric sample.  Three modes run
+    back-to-back per rep:
+    *bare* (no telemetry), *full* (every round's span and every event's
+    sample recorded) and *sampled* (2%% head-based sampling, seeded).
+    Like bench_security, the wall estimate is the min over paired
+    (bare, sampled) reps -- scheduler noise only inflates a leg, so the
+    smallest ratio is the closest observation of the intrinsic recording
+    cost.  ``sampled_budget_ok`` trips when even the best rep's sampled
+    run exceeds the 10%% overhead budget over bare: the tripwire for
+    accidentally de-optimizing the sampled drop path.  Span/sample
+    counts are deterministic (the sampler hashes (seed, root ordinal)),
+    so they double as a drift check on the sampling decision stream.
+    """
+    from repro.observability.overhead import SpanSampler
+    from repro.observability.spans import SpanRecorder
+    from repro.simulation.kernel import Simulator
+    from repro.simulation.metrics import MetricsRecorder
+
+    n = 6_000 if quick else 24_000
+    reps = 5 if quick else 7
+    round_events = 16
+    rate = 0.02
+    readings = [0.05 * i for i in range(32)]
+
+    def one_run(mode: str):
+        sim = Simulator()
+        spans = None
+        metrics = None
+        add = None
+        if mode != "bare":
+            sampler = SpanSampler(rate, seed=7) if mode == "sampled" else None
+            spans = SpanRecorder(sampler=sampler)
+            metrics = MetricsRecorder()
+            add = metrics.counter_adder("obs.ticks")
+        # [fired, ewma, open span, round kept?] -- list, not dict, so the
+        # handler's own bookkeeping stays cheap relative to what we meter.
+        state: List[Any] = [0, 0.0, None, False]
+
+        def tick(s: Any) -> None:
+            fired = state[0] = state[0] + 1
+            total = 0.0
+            for r in readings:
+                total += r * 1.0001 + 0.003
+            state[1] = 0.9 * state[1] + 0.1 * total
+            if spans is not None:
+                if fired % round_events == 1:
+                    if state[2] is not None:
+                        spans.finish(state[2], s.now)
+                        add(float(round_events))
+                    span = spans.start("poll-round", "bench", s.now)
+                    state[2] = span
+                    state[3] = span.sampled
+                if state[3]:
+                    metrics.record("obs.batch_ewma", s.now, state[1])
+            if fired < n:
+                s.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        started = time.perf_counter()
+        sim.run(until=float(n))
+        wall = time.perf_counter() - started
+        if spans is not None and state[2] is not None:
+            spans.finish(state[2], sim.now)
+            add(float(round_events))
+        return wall, spans, metrics
+
+    bare_wall = full_wall = sampled_wall = float("inf")
+    best_full_ratio = best_sampled_ratio = float("inf")
+    full_spans = sampled_spans = None
+    full_metrics = sampled_metrics = None
+    for _ in range(reps):
+        b_wall, _, _ = one_run("bare")
+        f_wall, full_spans, full_metrics = one_run("full")
+        s_wall, sampled_spans, sampled_metrics = one_run("sampled")
+        bare_wall = min(bare_wall, b_wall)
+        full_wall = min(full_wall, f_wall)
+        sampled_wall = min(sampled_wall, s_wall)
+        if b_wall > 0:
+            best_full_ratio = min(best_full_ratio, f_wall / b_wall)
+            best_sampled_ratio = min(best_sampled_ratio, s_wall / b_wall)
+
+    sampled_overhead = max(0.0, best_sampled_ratio - 1.0)
+    return {
+        "wall_s": bare_wall,
+        "full.wall_s": full_wall,
+        "sampled.wall_s": sampled_wall,
+        "sampled_budget_ok": float(sampled_overhead <= 0.10),
+        "spans_full": float(len(full_spans)),
+        "spans_sampled": float(len(sampled_spans)),
+        "spans_sampled_out": float(sampled_spans.sampled_out),
+        "metric_points_full": float(full_metrics.total_points()),
+        "metric_points_sampled": float(sampled_metrics.total_points()),
+        "ticks_counted": float(sampled_metrics.counter("obs.ticks")),
+    }
+
+
 SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
     "smart_city": bench_smart_city,
     "mape_outage": bench_mape_outage,
@@ -328,6 +432,7 @@ SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
     "persistence": bench_persistence,
     "traffic": bench_traffic,
     "security": bench_security,
+    "observability": bench_observability,
 }
 
 
@@ -444,6 +549,50 @@ def print_report(regressions: List[Dict[str, Any]]) -> None:
               f"{reg['baseline']} -> {reg['current']} ({reg['detail']})")
 
 
+def print_trajectory(baselines_dir: str) -> int:
+    """Per-metric drift across every ``BENCH_<n>.json`` in a directory.
+
+    Where ``--compare`` answers "did THIS change regress anything", the
+    trajectory answers "where has this metric been heading" across all
+    retained snapshots (oldest -> newest), using the same drift rows the
+    HTML report's "Bench trajectory" section renders.  Mixed quick/full
+    snapshots are refused: their sizes differ, so drift between them is
+    meaningless.
+    """
+    from repro.observability.export import bench_trajectory_rows
+
+    paths = sorted(
+        glob.glob(os.path.join(baselines_dir, "BENCH_*.json")),
+        key=lambda p: int(re.fullmatch(
+            r"BENCH_(\d+)\.json", os.path.basename(p)).group(1)),
+    )
+    if not paths:
+        print(f"[regress] no BENCH_*.json snapshots under {baselines_dir}")
+        return 1
+    snapshots = [load_snapshot(path) for path in paths]
+    modes = {snap.get("quick", False) for snap in snapshots}
+    if len(modes) > 1:
+        print("[regress] trajectory refused: snapshots mix --quick and "
+              "full runs; drift across sizes is meaningless")
+        return 1
+    names = " -> ".join(
+        f"{os.path.basename(p)}"
+        + (f" ({s.get('label')})" if s.get("label") else "")
+        for p, s in zip(paths, snapshots))
+    print(f"[regress] trajectory over {len(paths)} snapshot(s): {names}")
+    rows = bench_trajectory_rows(snapshots)
+    width = max(len(row[0]) for row in rows) if rows else 10
+    print(f"  {'metric'.ljust(width)}  {'first':>14}  {'last':>14}  "
+          f"{'drift':>14}  {'drift%':>8}")
+    for metric, first, last, drift, pct in rows:
+        def fmt(value: Any) -> str:
+            return (f"{value:.6g}" if isinstance(value, (int, float))
+                    else str(value))
+        print(f"  {metric.ljust(width)}  {fmt(first):>14}  {fmt(last):>14}  "
+              f"{fmt(drift):>14}  {pct:>8}")
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # self-test: the harness must catch an injected regression
 # --------------------------------------------------------------------------- #
@@ -516,10 +665,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="compare two existing snapshots; no benches run")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the harness detects injected regressions")
+    parser.add_argument(
+        "--trajectory", nargs="?", metavar="DIR", default=None,
+        const=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "baselines"),
+        help="print per-metric drift across all BENCH_*.json snapshots "
+             "in DIR (default: benchmarks/baselines); no benches run")
     args = parser.parse_args(argv)
 
     if args.self_test:
         return 0 if self_test(args.out) else 1
+    if args.trajectory is not None:
+        return print_trajectory(args.trajectory)
     if args.compare:
         regressions = compare_snapshots(load_snapshot(args.compare[0]),
                                         load_snapshot(args.compare[1]))

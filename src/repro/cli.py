@@ -28,7 +28,16 @@ resume      Load the checkpoint in ``--out``, fast-forward deterministically
 replay      Re-run the scenario recorded in ``--out``'s journal from its
             seed and compare every event and state digest; on divergence,
             write a divergence report and exit nonzero.
+incident    ``incident show <bundle>`` prints a captured incident's
+            trigger, ranked causal chain and evidence inventory;
+            ``incident replay <bundle>`` deterministically reproduces the
+            bundle's triggering window and verifies its state digest.
 all         Every table command above, in order.
+
+Every gated command (monitor, traffic, security, replay) runs under a
+flight recorder: when its gate fails, a self-contained incident bundle
+(telemetry tails + checkpoint + journal) lands under ``--out``/incidents
+for the ``incident`` verbs to inspect and replay.
 """
 
 from __future__ import annotations
@@ -247,53 +256,20 @@ TRACE_SCENARIOS = ("smart-city-partition", "mape-outage")
 def _run_smart_city_partition(quick: bool, setup=None):
     """The canonical observed run: a smart city losing its cloud.
 
-    Per-district MAPE loops keep managing through the outage; a service
-    failure injected mid-run is repaired by the local loop, and the whole
-    disruption→recovery arc is captured as one span trace.  ``setup`` (if
-    given) is called with ``(system, loops)`` after wiring but before the
-    run -- the attachment point for SLO monitoring.
+    Wiring lives in
+    :func:`repro.observability.scenarios.prepare_smart_city_partition`
+    (so the persistence registry can rebuild and replay the scenario);
+    this wrapper prepares, applies the optional ``setup`` hook with
+    ``(system, loops)`` -- the attachment point for SLO monitoring --
+    and drives the run.
     """
-    from repro.adaptation import (
-        DeviceLivenessAnalyzer,
-        Executor,
-        MapeLoop,
-        RuleBasedPlanner,
-        ServiceHealthAnalyzer,
-        SloAlertAnalyzer,
-    )
-    from repro.faults.models import PartitionFault, ServiceFailureFault
-    from repro.workloads.smart_city import SmartCityWorkload
+    from repro.observability.scenarios import prepare_smart_city_partition
 
-    districts = 2 if quick else 3
-    workload = SmartCityWorkload(n_districts=districts,
-                                 sensors_per_district=3 if quick else 4,
-                                 seed=7)
-    system = workload.system
-    system.enable_observability()
-    loops = []
-    for district in range(districts):
-        edge = f"edge{district}"
-        scope = [edge] + list(system.sites[edge])
-        loop = MapeLoop(
-            system.sim, system.network, system.fleet, edge, scope,
-            analyzers=[ServiceHealthAnalyzer(), DeviceLivenessAnalyzer(),
-                       SloAlertAnalyzer()],
-            planner=RuleBasedPlanner(),
-            executor=Executor(system.sim, system.network, system.fleet, edge,
-                              system.rngs.stream(f"exec:{edge}"),
-                              trace=system.trace),
-            period=1.0, metrics=system.metrics, trace=system.trace,
-        )
-        loop.start()
-        loops.append(loop)
-    system.injector.inject_at(10.0, ServiceFailureFault(
-        name="svcfail:analytics0", device_id="edge0",
-        service_name="traffic-analytics0"))
-    system.injector.inject_at(20.0, PartitionFault(
-        name="cloud-outage", duration=20.0, isolate_node="cloud"))
+    prepared = prepare_smart_city_partition(quick=quick)
+    system = prepared.system
     if setup is not None:
-        setup(system, loops)
-    workload.run(60.0)
+        setup(system, prepared.aux["loops"])
+    system.run(until=prepared.horizon)
     return system
 
 
@@ -363,67 +339,79 @@ def cmd_trace(quick: bool, scenario: str = "smart-city-partition",
 # --------------------------------------------------------------------------- #
 # monitor / report: live SLO evaluation + resilience KPIs
 # --------------------------------------------------------------------------- #
-def _run_monitored(quick: bool, scenario: str, strict: bool):
-    """Run ``scenario`` with an SLO monitor attached; returns (system, monitor).
+def _run_monitored(quick: bool, scenario: str, strict: bool,
+                   bundle_dir: Optional[str] = None):
+    """Run ``scenario`` with SLO monitoring and a flight recorder armed.
 
     The monitor evaluates inside the simulation (period 2s) so breaches
     land causally among the faults and repairs they concern, and every
     MAPE loop subscribes to alerts -- SLO burn can trigger adaptation.
     Edge nodes additionally run a small gossip mesh sharing liveness
     heartbeats, giving the convergence KPIs a live protocol to measure.
+
+    The run is rebuilt through the persistence scenario registry, so a
+    captured incident is deterministically replayable.  With
+    ``bundle_dir`` the whole event stream is journaled there (the journal
+    joins the bundle on a gate failure; callers remove the directory on
+    success).  Returns ``(system, monitor, flight, journal_path)``.
     """
-    from repro.coordination.gossip import GossipNode
-    from repro.observability.slo import (
-        ReachabilityProbe,
-        SloMonitor,
-        default_slos,
-    )
+    from repro.observability.flight import FlightRecorder
+    from repro.persistence import ScenarioSpec, prepare
+    from repro.persistence.journal import JournalWriter
+    from repro.persistence.runner import RunRecorder, _drive_to_horizon
 
-    holder = {}
-
-    def setup(system, loops) -> None:
-        # Cloud reachability is probed actively: partitions leave the
-        # cloud "up" but unreachable, and only the probe sees that.
-        if system.cloud_node and system.edge_nodes:
-            ReachabilityProbe(system.sim, system.network, system.metrics,
-                              source=system.edge_nodes[0],
-                              target=system.cloud_node,
-                              period=2.0, timeout=1.5).start()
-        specs = default_slos(system, strict=strict,
-                             city=scenario == "smart-city-partition")
-        monitor = SloMonitor(system.sim, system.metrics, specs,
-                             trace=system.trace, period=2.0)
-        for loop in loops:
-            monitor.attach(loop)
-        monitor.start()
-        edges = system.edge_nodes
-        if len(edges) > 1:
-            for edge in edges:
-                gossip = GossipNode(
-                    system.sim, system.network, edge,
-                    [e for e in edges if e != edge],
-                    system.rngs.stream(f"monitor-gossip:{edge}"),
-                    period=2.0)
-                gossip.set(f"alive:{edge}", 1)
-                gossip.start()
-        holder["monitor"] = monitor
-
-    runners = {
-        "smart-city-partition": _run_smart_city_partition,
-        "mape-outage": _run_mape_outage,
-    }
-    system = runners[scenario](quick, setup=setup)
-    monitor = holder["monitor"]
+    params = {"monitored": True, "strict": strict}
+    if scenario == "smart-city-partition":
+        params["quick"] = quick
+    spec = ScenarioSpec(name=scenario, params=params)
+    prepared = prepare(spec)
+    system = prepared.system
+    monitor = prepared.aux["monitor"]
+    recorder = None
+    journal_path = None
+    if bundle_dir is not None:
+        os.makedirs(bundle_dir, exist_ok=True)
+        journal_path = os.path.join(bundle_dir, "journal.jsonl")
+        recorder = RunRecorder(system, JournalWriter(journal_path,
+                                                     spec.to_dict()))
+    flight = FlightRecorder(system, spec=spec,
+                            loops=prepared.aux.get("loops"))
+    flight.arm()   # chains after the journaling observer
+    try:
+        with flight.guard():
+            _drive_to_horizon(system, prepared.horizon)
+    except Exception:
+        flight.finalize()
+        flight.disarm()
+        if recorder is not None:
+            recorder.abandon()
+        if bundle_dir is not None:
+            flight.capture(bundle_dir, journal_path=journal_path)
+        raise
     monitor.evaluate_now()   # end-of-run evaluation at the final horizon
-    return system, monitor
+    flight.finalize()
+    flight.disarm()
+    if recorder is not None:
+        recorder.finish()
+    return system, monitor, flight, journal_path
+
+
+def _incident_rows(flight) -> List[List[object]]:
+    """Diagnosis table rows for a triggered flight recorder."""
+    diagnosis = flight.diagnosis
+    return diagnosis.table_rows() if diagnosis is not None else []
 
 
 def cmd_monitor(quick: bool, scenario: str = "smart-city-partition",
-                strict: bool = False) -> int:
+                strict: bool = False, out: str = "trace-out") -> int:
     """Run with live SLOs; print KPI tables; exit 1 on any SLO breach."""
+    import shutil
+
     _progress(f"running monitored scenario {scenario!r}"
               f"{' (strict SLOs)' if strict else ''}...")
-    system, monitor = _run_monitored(quick, scenario, strict)
+    bundle_dir = os.path.join(out, "incidents", scenario)
+    system, monitor, flight, journal_path = _run_monitored(
+        quick, scenario, strict, bundle_dir=bundle_dir)
     system.spans.finish_open(system.sim.now)
     report = system.kpi_report()
 
@@ -451,10 +439,52 @@ def cmd_monitor(quick: bool, scenario: str = "smart-city-partition",
     _print_data("monitor: kpis", report.to_dict())
     _print_data("monitor: slos", monitor.to_dict())
     if monitor.ever_breached:
-        _progress(f"\nSLO GATE: FAIL ({monitor.breach_events} breach event(s))")
+        if not flight.triggered:
+            flight.trigger("gate-failure", detail={
+                "gate": "slo", "breach_events": monitor.breach_events})
+        bundle = flight.capture(bundle_dir, journal_path=journal_path)
+        rows = _incident_rows(flight)
+        if rows:
+            _print_table("monitor: incident causal chain",
+                         ["rank", "kind", "subject", "t (s)", "score",
+                          "summary"], rows)
+        _print_data("monitor: incident", {
+            "bundle": bundle,
+            "trigger": flight.triggers[0].to_dict(),
+            "chain": rows,
+        })
+        _progress(f"\nSLO GATE: FAIL ({monitor.breach_events} breach "
+                  f"event(s); incident bundle: {bundle})")
         return 1
+    shutil.rmtree(bundle_dir, ignore_errors=True)
     _progress("\nSLO GATE: OK (no objective breached)")
     return 0
+
+
+def _bench_trajectory_rows_if_available() -> Optional[List[List[object]]]:
+    """Bench-trajectory rows from ``benchmarks/baselines``, if present.
+
+    The report command may run from an installed package or another
+    working directory; the trajectory section simply disappears when the
+    baselines directory isn't reachable.
+    """
+    from repro.observability.export import bench_trajectory_rows
+
+    baseline_dir = os.path.join(os.path.dirname(__file__), "..", "..",
+                                "benchmarks", "baselines")
+    if not os.path.isdir(baseline_dir):
+        return None
+    snapshots = []
+    for name in sorted(os.listdir(baseline_dir)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(baseline_dir, name),
+                      encoding="utf-8") as fh:
+                snapshots.append(json.load(fh))
+        except (OSError, json.JSONDecodeError):
+            continue
+    return bench_trajectory_rows(snapshots) if snapshots else None
 
 
 def cmd_report(quick: bool, scenario: str = "smart-city-partition",
@@ -462,9 +492,10 @@ def cmd_report(quick: bool, scenario: str = "smart-city-partition",
     """Run monitored and write HTML + Prometheus + KPI JSON artifacts."""
     from repro.observability.export import write_html_report, write_prometheus
     from repro.observability.kpis import availability_kpis
+    from repro.observability.overhead import telemetry_health
 
     _progress(f"running monitored scenario {scenario!r}...")
-    system, monitor = _run_monitored(quick, scenario, strict)
+    system, monitor, flight, _ = _run_monitored(quick, scenario, strict)
     system.spans.finish_open(system.sim.now)
     report = system.kpi_report()
     availability = availability_kpis(system.metrics, system.sim.now)
@@ -481,15 +512,26 @@ def cmd_report(quick: bool, scenario: str = "smart-city-partition",
         if hist.count:
             histograms[f"network_latency_seconds_{kind}"] = hist
     per_source = system.network.stats.per_source
+    health = telemetry_health(system)
+    incidents = None
+    if flight.triggered:
+        flight.finalize()
+        incidents = [{"reason": flight.triggers[0].reason,
+                      "time": flight.triggers[0].time,
+                      "rows": _incident_rows(flight)}]
     n_bytes = write_html_report(
         html_path, f"Resilience report — {scenario}", report,
         slo_monitor=monitor,
         availability_per_device=availability["per_device"],
         network_kinds=per_kind,
-        per_source=per_source)
+        per_source=per_source,
+        incidents=incidents,
+        telemetry=health,
+        bench_trajectory=_bench_trajectory_rows_if_available())
     n_lines = write_prometheus(system.metrics, prom_path,
                                histograms=histograms,
-                               per_source=per_source)
+                               per_source=per_source,
+                               telemetry=health)
     with open(kpi_path, "w", encoding="utf-8") as fh:
         json.dump({"kpis": report.to_dict(), "slos": monitor.to_dict()},
                   fh, indent=2, sort_keys=True, default=str)
@@ -594,6 +636,18 @@ def cmd_replay(quick: bool, out: str = "checkpoint-out",
     if not report.ok:
         write_divergence_report(report, divergence_path)
         _progress(f"\nREPLAY GATE: FAIL (divergence report: {divergence_path})")
+        if report.divergence is not None:
+            from repro.observability.flight import capture_divergence_incident
+
+            try:
+                bundle = capture_divergence_incident(
+                    journal_path, report,
+                    os.path.join(out, "incidents", "replay-divergence"))
+            except Exception as exc:  # noqa: BLE001 - capture must not
+                # mask the gate failure itself
+                _progress(f"(incident capture failed: {exc})")
+            else:
+                _progress(f"incident bundle: {bundle}")
         return 1
     _progress("\nREPLAY GATE: OK (journal matches deterministic re-run)")
     return 0
@@ -605,7 +659,33 @@ def cmd_replay(quick: bool, out: str = "checkpoint-out",
 TRAFFIC_SCENARIOS = ("overload", "retry-storm")
 
 
-def cmd_traffic(quick: bool, scenario: str = "overload") -> int:
+def _emit_gate_incident(spec_name: str, params: Dict[str, object],
+                        out: str, gate: str,
+                        detail: Dict[str, object]) -> Optional[str]:
+    """Capture an incident bundle for a failed gate; never masks the failure.
+
+    Re-runs the failing variant's registered scenario spec under a flight
+    recorder (journaled, checkpointed at the horizon) so the bundle is
+    self-contained and replayable even though the gate itself aggregates
+    several variant runs.
+    """
+    from repro.observability.flight import capture_gate_incident
+    from repro.persistence import ScenarioSpec
+
+    directory = os.path.join(out, "incidents", spec_name)
+    try:
+        bundle = capture_gate_incident(
+            ScenarioSpec(name=spec_name, params=dict(params)), directory,
+            reason="gate-failure", detail={"gate": gate, **detail})
+    except Exception as exc:  # noqa: BLE001 - the gate verdict stands
+        _progress(f"(incident capture failed: {exc})")
+        return None
+    _progress(f"incident bundle: {bundle}")
+    return bundle
+
+
+def cmd_traffic(quick: bool, scenario: str = "overload",
+                out: str = "trace-out") -> int:
     """Run every variant of a traffic scenario; gate on the resilient one.
 
     ``overload`` fails if admission control cannot hold goodput at >=80%
@@ -643,6 +723,11 @@ def cmd_traffic(quick: bool, scenario: str = "overload") -> int:
         if held["goodput_vs_capacity"] < 0.8:
             _progress(f"\nTRAFFIC GATE: FAIL (admission goodput at "
                       f"{held['goodput_vs_capacity']:.0%} of capacity)")
+            _emit_gate_incident(
+                "traffic-overload",
+                {"variant": "admission", "horizon": horizon},
+                out, gate="traffic-overload",
+                detail={"goodput_vs_capacity": held["goodput_vs_capacity"]})
             return 1
         _progress(f"\nTRAFFIC GATE: OK (admission control holds goodput at "
                   f"{held['goodput_vs_capacity']:.0%} of capacity)")
@@ -667,6 +752,11 @@ def cmd_traffic(quick: bool, scenario: str = "overload") -> int:
     if resilient["recovery_ratio"] < 0.9:
         _progress(f"\nTRAFFIC GATE: FAIL (post-heal goodput recovered only "
                   f"{resilient['recovery_ratio']:.0%} of offered)")
+        _emit_gate_incident(
+            "traffic-retry-storm",
+            {"variant": "resilient", "horizon": horizon},
+            out, gate="traffic-retry-storm",
+            detail={"recovery_ratio": resilient["recovery_ratio"]})
         return 1
     _progress(f"\nTRAFFIC GATE: OK (budget+breaker recover "
               f"{resilient['recovery_ratio']:.0%} of offered goodput)")
@@ -679,7 +769,8 @@ def cmd_traffic(quick: bool, scenario: str = "overload") -> int:
 SECURITY_SCENARIOS = ("byzantine-gossip", "sybil-flood", "raft-equivocation")
 
 
-def cmd_security(quick: bool, scenario: str = "byzantine-gossip") -> int:
+def cmd_security(quick: bool, scenario: str = "byzantine-gossip",
+                 out: str = "trace-out") -> int:
     """Run every variant of a security scenario; gate naive-fails/defended-holds.
 
     ``byzantine-gossip`` fails unless the naive mesh never converges while
@@ -732,6 +823,11 @@ def cmd_security(quick: bool, scenario: str = "byzantine-gossip") -> int:
             failures.append("defended run did not quarantine the attacker")
         if failures:
             _progress("\nSECURITY GATE: FAIL (" + "; ".join(failures) + ")")
+            _emit_gate_incident(
+                "security-byzantine-gossip",
+                {"variant": "defended", "horizon": horizon},
+                out, gate="security-byzantine-gossip",
+                detail={"failures": failures})
             return 1
         _progress(f"\nSECURITY GATE: OK (defended converges at "
                   f"{defended['converged_at']:.1f}s vs clean "
@@ -770,6 +866,10 @@ def cmd_security(quick: bool, scenario: str = "byzantine-gossip") -> int:
                             "(attack had no teeth)")
         if failures:
             _progress("\nSECURITY GATE: FAIL (" + "; ".join(failures) + ")")
+            _emit_gate_incident(
+                "security-sybil-flood", {"variant": "defended"},
+                out, gate="security-sybil-flood",
+                detail={"failures": failures})
             return 1
         _progress(f"\nSECURITY GATE: OK (defended holds "
                   f"{defended['goodput'] / clean['goodput']:.0%} of clean "
@@ -803,11 +903,99 @@ def cmd_security(quick: bool, scenario: str = "byzantine-gossip") -> int:
         failures.append("defended run never elected a leader")
     if failures:
         _progress("\nSECURITY GATE: FAIL (" + "; ".join(failures) + ")")
+        _emit_gate_incident(
+            "security-raft-equivocation", {"variant": "defended"},
+            out, gate="security-raft-equivocation",
+            detail={"failures": failures})
         return 1
     _progress(f"\nSECURITY GATE: OK (naive double-elects in "
               f"{len(naive['double_wins'])} term(s); defended keeps one "
               f"safe leader and quarantines "
               f"{','.join(defended['quarantined'])})")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# incident: inspect and replay captured incident bundles
+# --------------------------------------------------------------------------- #
+INCIDENT_VERBS = ("show", "replay")
+
+
+def cmd_incident_show(path: str) -> int:
+    """Print a bundle's trigger, causal chain and evidence inventory."""
+    from repro.observability.diagnosis import Diagnosis
+    from repro.observability.flight import FlightError, load_manifest
+
+    try:
+        manifest = load_manifest(path)
+    except FlightError as exc:
+        _progress(f"incident: {exc}")
+        return 2
+    trigger = manifest["trigger"]
+    barrier = manifest["barrier"]
+    scenario = manifest.get("scenario") or {}
+    rows = [
+        ["bundle", path],
+        ["trigger", trigger["reason"]],
+        ["trigger time (s)", trigger["time"]],
+        ["trigger detail", json.dumps(trigger.get("detail", {}),
+                                      sort_keys=True, default=str)],
+        ["scenario", scenario.get("name", "-")],
+        ["barrier time (s)", barrier["time"]],
+        ["barrier events", barrier["fired"]],
+        ["barrier digest", barrier["digest"][:16] + "..."],
+        ["replayable", "yes" if manifest.get("evidence", {}).get("checkpoint")
+         else "no (no checkpoint)"],
+    ]
+    for extra in manifest.get("additional_triggers", []):
+        rows.append([f"also triggered ({extra['reason']})",
+                     f"t={extra['time']:g}s"])
+    _print_table("incident: summary", ["field", "value"], rows)
+    diagnosis = Diagnosis.from_dict(manifest.get("diagnosis", {}))
+    if diagnosis.chain:
+        _print_table(
+            f"incident: ranked causal chain (window {diagnosis.window:g}s)",
+            ["rank", "kind", "subject", "t (s)", "score", "summary"],
+            diagnosis.table_rows())
+    evidence = manifest.get("evidence", {})
+    if evidence:
+        _print_table("incident: evidence inventory", ["artifact", "records"],
+                     [[key, value] for key, value in sorted(evidence.items())])
+    _print_data("incident: manifest", manifest)
+    return 0
+
+
+def cmd_incident_replay(path: str) -> int:
+    """Deterministically reproduce a bundle's triggering window."""
+    from repro.observability.flight import FlightError, replay_incident
+    from repro.persistence import CheckpointError
+
+    _progress(f"replaying incident bundle {path!r}...")
+    try:
+        result = replay_incident(path)
+    except FlightError as exc:
+        _progress(f"incident: {exc}")
+        return 2
+    except CheckpointError as exc:
+        _progress(f"\nINCIDENT REPLAY: DIVERGED ({exc})")
+        return 1
+    _print_table(
+        "incident replay: deterministic verification",
+        ["field", "value"],
+        [["scenario", result["spec"].name],
+         ["barrier time (s)", result["barrier_time"]],
+         ["events fast-forwarded", result["barrier_fired"]],
+         ["state digest", result["digest"][:16] + "..."],
+         ["replay wall time (s)", result["replay_wall_s"]],
+         ["verdict", "MATCH"]])
+    _print_data("incident replay", {
+        "scenario": result["spec"].to_dict(),
+        "barrier_time": result["barrier_time"],
+        "barrier_fired": result["barrier_fired"],
+        "digest": result["digest"],
+    })
+    _progress("\nINCIDENT REPLAY: MATCH (triggering window reproduced "
+              "bit-for-bit)")
     return 0
 
 
@@ -834,16 +1022,21 @@ def main(argv: List[str] = None) -> int:
                         choices=sorted(COMMANDS) + ["all", "trace", "monitor",
                                                     "report", "checkpoint",
                                                     "resume", "replay",
-                                                    "traffic", "security"],
+                                                    "traffic", "security",
+                                                    "incident"],
                         help="which experiment to run")
     parser.add_argument("scenario", nargs="?",
                         choices=sorted(set(TRACE_SCENARIOS)
                                        | set(persistence_scenarios)
                                        | set(TRAFFIC_SCENARIOS)
-                                       | set(SECURITY_SCENARIOS)),
+                                       | set(SECURITY_SCENARIOS)
+                                       | set(INCIDENT_VERBS)),
                         default=None,
                         help="scenario for the trace/monitor/report/"
-                             "checkpoint/traffic/security commands")
+                             "checkpoint/traffic/security commands, or "
+                             "show|replay for the incident command")
+    parser.add_argument("path", nargs="?", default=None,
+                        help="incident: path to a captured incident bundle")
     parser.add_argument("--quick", action="store_true",
                         help="smaller/faster variants of the experiments")
     parser.add_argument("--json", action="store_true",
@@ -889,6 +1082,12 @@ def main(argv: List[str] = None) -> int:
         elif args.scenario not in SECURITY_SCENARIOS:
             parser.error(f"scenario {args.scenario!r} is not available for "
                          f"'security' (choose from {SECURITY_SCENARIOS})")
+    elif args.command == "incident":
+        if args.scenario not in INCIDENT_VERBS:
+            parser.error("incident needs a verb: "
+                         f"choose from {INCIDENT_VERBS}")
+        if args.path is None:
+            parser.error(f"incident {args.scenario} needs a bundle path")
     if args.out is None:
         args.out = ("checkpoint-out"
                     if args.command in ("checkpoint", "resume", "replay")
@@ -905,7 +1104,7 @@ def main(argv: List[str] = None) -> int:
             cmd_trace(args.quick, scenario=args.scenario, out=args.out)
         elif args.command == "monitor":
             exit_code = cmd_monitor(args.quick, scenario=args.scenario,
-                                    strict=args.strict)
+                                    strict=args.strict, out=args.out)
         elif args.command == "report":
             exit_code = cmd_report(args.quick, scenario=args.scenario,
                                    out=args.out, strict=args.strict)
@@ -918,9 +1117,15 @@ def main(argv: List[str] = None) -> int:
         elif args.command == "replay":
             exit_code = cmd_replay(args.quick, out=args.out, until=args.until)
         elif args.command == "traffic":
-            exit_code = cmd_traffic(args.quick, scenario=args.scenario)
+            exit_code = cmd_traffic(args.quick, scenario=args.scenario,
+                                    out=args.out)
         elif args.command == "security":
-            exit_code = cmd_security(args.quick, scenario=args.scenario)
+            exit_code = cmd_security(args.quick, scenario=args.scenario,
+                                     out=args.out)
+        elif args.command == "incident":
+            exit_code = (cmd_incident_show(args.path)
+                         if args.scenario == "show"
+                         else cmd_incident_replay(args.path))
         else:
             COMMANDS[args.command](args.quick)
         if _JSON_COLLECTOR is not None:

@@ -51,24 +51,64 @@ class IoTSystem:
         # Observability is opt-in (enable_observability); None when off so
         # instrumented hot paths cost a single attribute check.
         self.spans: Optional[SpanRecorder] = None
+        # Telemetry self-metering (attach_meter) and the flight recorder
+        # (enable_flight_recorder); None until enabled.
+        self.meter = None
+        self.flight = None
 
     # -- observability ----------------------------------------------------------#
-    def enable_observability(self, instrument: bool = True) -> SpanRecorder:
+    def enable_observability(self, instrument: bool = True,
+                             sample_rate: Optional[float] = None,
+                             meter: bool = False) -> SpanRecorder:
         """Attach causal-span recording (and optionally a kernel profiler).
 
         Spans propagate through the transport, the fault injector, the
         partition manager, and every protocol that reads
         ``network.spans`` (MAPE loops, gossip, raft, failure detectors).
         Safe to call after the system is fully wired; returns the recorder.
+
+        ``sample_rate`` (0..1) enables head-based span sampling: the
+        keep/drop decision is derived deterministically from the system
+        seed and the root-span ordinal, so sampled runs journal and
+        digest bit-identically to full runs.  Fault arcs are always kept.
+        ``meter`` attaches an :class:`~repro.observability.overhead.OverheadMeter`
+        that self-accounts the wall-clock cost of telemetry recording.
         """
         if self.spans is None:
-            self.spans = SpanRecorder()
+            sampler = None
+            if sample_rate is not None:
+                from repro.observability.overhead import SpanSampler
+
+                sampler = SpanSampler(sample_rate, seed=self.rngs.seed)
+            self.spans = SpanRecorder(sampler=sampler)
         self.network.spans = self.spans
         self.injector.spans = self.spans
         self.partitions.spans = self.spans
         if instrument and self.sim.instrument is None:
             self.sim.instrument = Instrument()
+        if meter and self.meter is None:
+            from repro.observability.overhead import attach_meter
+
+            self.meter = attach_meter(self)
         return self.spans
+
+    def enable_flight_recorder(self, spec=None, loops=None, **kwargs):
+        """Arm an incident flight recorder over this system; returns it.
+
+        ``spec`` (a :class:`~repro.persistence.scenarios.ScenarioSpec`)
+        makes captured bundles replayable; ``loops`` adds MAPE knowledge
+        snapshots to the evidence.  The armed recorder is also published
+        under ``sim.context["flight"]`` so faults and gates can trigger
+        it without holding a reference.
+        """
+        from repro.observability.flight import FlightRecorder
+
+        if self.flight is None:
+            self.flight = FlightRecorder(self, spec=spec, loops=loops,
+                                         **kwargs)
+            self.flight.arm()
+            self.sim.context["flight"] = self.flight
+        return self.flight
 
     # -- construction ----------------------------------------------------------#
     @classmethod

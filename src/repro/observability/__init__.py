@@ -22,6 +22,17 @@ quantitative layer monitored against goals:
 * :mod:`~repro.observability.export` -- JSONL, Chrome trace-event
   (Perfetto-loadable), Prometheus text, HTML report, metrics-snapshot and
   profile writers.
+* :mod:`~repro.observability.flight` -- the always-on flight recorder:
+  on an SLO breach, gate failure, crash fault or replay divergence it
+  dumps a self-contained incident bundle whose triggering window is
+  deterministically replayable (``python -m repro incident show|replay``).
+* :mod:`~repro.observability.diagnosis` -- ranks the causal chain behind
+  a trigger (fault arc → degraded subsystem → SLO breach) from the span
+  tree's fault index and recorded series.
+* :mod:`~repro.observability.overhead` -- the telemetry budget:
+  deterministic head-based span sampling (:class:`SpanSampler`),
+  self-metering of recording cost (:class:`OverheadMeter`) and the
+  ``repro_observability_overhead_*`` / telemetry-health Prometheus lines.
 
 Enable it on a system with :meth:`repro.core.system.IoTSystem.enable_observability`,
 or run ``python -m repro trace <scenario>`` / ``python -m repro monitor
@@ -39,8 +50,24 @@ from repro.observability.export import (
     write_prometheus,
     write_spans_jsonl,
 )
+from repro.observability.diagnosis import CausalLink, Diagnosis, diagnose
+from repro.observability.flight import (
+    FlightRecorder,
+    IncidentTrigger,
+    capture_divergence_incident,
+    capture_gate_incident,
+    load_manifest,
+    replay_incident,
+)
 from repro.observability.histogram import StreamingHistogram, log_bounds
 from repro.observability.instrument import Instrument, LabelStats
+from repro.observability.overhead import (
+    OverheadMeter,
+    SpanSampler,
+    attach_meter,
+    telemetry_health,
+    telemetry_prom_lines,
+)
 from repro.observability.kpis import (
     DisruptionArc,
     KpiReport,
@@ -60,10 +87,15 @@ from repro.observability.slo import (
 from repro.observability.spans import Span, SpanContext, SpanRecorder
 
 __all__ = [
+    "CausalLink",
+    "Diagnosis",
     "DisruptionArc",
+    "FlightRecorder",
+    "IncidentTrigger",
     "Instrument",
     "KpiReport",
     "LabelStats",
+    "OverheadMeter",
     "ReachabilityProbe",
     "SloMonitor",
     "SloSpec",
@@ -71,16 +103,25 @@ __all__ = [
     "Span",
     "SpanContext",
     "SpanRecorder",
+    "SpanSampler",
     "StreamingHistogram",
     "VectorKpis",
+    "attach_meter",
+    "capture_divergence_incident",
+    "capture_gate_incident",
     "chrome_trace_events",
     "classify_fault_vector",
     "compute_kpi_report",
     "default_slos",
+    "diagnose",
     "disruption_arcs",
     "kpi_report_for_system",
+    "load_manifest",
     "log_bounds",
     "prometheus_text",
+    "replay_incident",
+    "telemetry_health",
+    "telemetry_prom_lines",
     "write_chrome_trace",
     "write_events_jsonl",
     "write_html_report",

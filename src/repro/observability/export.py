@@ -193,6 +193,7 @@ def prometheus_text(
     histograms: Optional[Dict[str, StreamingHistogram]] = None,
     prefix: str = "repro_",
     per_source: Optional[Dict[str, List[int]]] = None,
+    telemetry: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Render recorder state in the Prometheus text exposition format.
 
@@ -203,7 +204,10 @@ def prometheus_text(
     downstream aggregation can sum across runs.  ``per_source`` (the
     transport's :attr:`NetworkStats.per_source` map) adds per-sender
     ``src``-labeled message/byte counters -- the attribution substrate
-    flooding detection reads.
+    flooding detection reads.  ``telemetry`` (a
+    :func:`~repro.observability.overhead.telemetry_health` dict) appends
+    the telemetry-budget gauges: ring-buffer drops, span retention and
+    the ``repro_observability_overhead_*`` self-metering family.
     """
     lines: List[str] = []
     if per_source:
@@ -243,6 +247,10 @@ def prometheus_text(
         lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
         lines.append(f"{metric}_sum {_prom_value(hist.total)}")
         lines.append(f"{metric}_count {hist.count}")
+    if telemetry is not None:
+        from repro.observability.overhead import telemetry_prom_lines
+
+        lines.extend(telemetry_prom_lines(telemetry, prefix=prefix))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -252,10 +260,11 @@ def write_prometheus(
     histograms: Optional[Dict[str, StreamingHistogram]] = None,
     prefix: str = "repro_",
     per_source: Optional[Dict[str, List[int]]] = None,
+    telemetry: Optional[Dict[str, Any]] = None,
 ) -> int:
     """Write the Prometheus exposition; returns the number of lines."""
     text = prometheus_text(metrics, histograms=histograms, prefix=prefix,
-                           per_source=per_source)
+                           per_source=per_source, telemetry=telemetry)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
     return text.count("\n")
@@ -306,6 +315,40 @@ def _html_table(headers: List[str], rows: List[List[Any]],
             f"<tbody>{''.join(body)}</tbody></table>")
 
 
+def bench_trajectory_rows(
+    snapshots: List[Dict[str, Any]],
+) -> List[List[Any]]:
+    """Per-metric drift rows across an ordered list of bench snapshots.
+
+    ``snapshots`` are loaded ``BENCH_*.json`` payloads (oldest first),
+    each ``{"label": ..., "benches": {bench: {metric: value}}}``.  Rows
+    are ``[bench.metric, first, last, drift, drift%]`` for every metric
+    present in the newest snapshot; metrics absent from the oldest show
+    "-" for first/drift so new benches don't read as infinite growth.
+    """
+    if not snapshots:
+        return []
+    first, last = snapshots[0], snapshots[-1]
+    rows: List[List[Any]] = []
+    for bench in sorted(last.get("benches", {})):
+        newest = last["benches"][bench]
+        oldest = first.get("benches", {}).get(bench, {})
+        for metric in sorted(newest):
+            new_value = newest[metric]
+            if not isinstance(new_value, (int, float)):
+                continue
+            old_value = oldest.get(metric)
+            if isinstance(old_value, (int, float)):
+                drift = new_value - old_value
+                pct = (f"{drift / old_value:+.1%}" if old_value else
+                       ("0.0%" if not drift else "new"))
+                rows.append([f"{bench}.{metric}", old_value, new_value,
+                             drift, pct])
+            else:
+                rows.append([f"{bench}.{metric}", "-", new_value, "-", "new"])
+    return rows
+
+
 def render_html_report(
     title: str,
     kpi_report: Any,
@@ -313,6 +356,9 @@ def render_html_report(
     availability_per_device: Optional[Dict[str, float]] = None,
     network_kinds: Optional[Dict[str, StreamingHistogram]] = None,
     per_source: Optional[Dict[str, List[int]]] = None,
+    incidents: Optional[List[Dict[str, Any]]] = None,
+    telemetry: Optional[Dict[str, Any]] = None,
+    bench_trajectory: Optional[List[List[Any]]] = None,
 ) -> str:
     """Build the self-contained HTML resilience report.
 
@@ -320,6 +366,12 @@ def render_html_report(
     ``slo_monitor`` (optional) a :class:`~repro.observability.slo.SloMonitor`.
     Everything (style included) is inlined: the file opens anywhere, no
     network access, no external assets.
+
+    ``incidents`` entries are dicts with ``reason``, ``time`` and the
+    diagnosis ``rows`` (:meth:`~repro.observability.diagnosis.Diagnosis.table_rows`),
+    plus an optional ``bundle`` path.  ``telemetry`` is a
+    :func:`~repro.observability.overhead.telemetry_health` dict;
+    ``bench_trajectory`` rows come from :func:`bench_trajectory_rows`.
     """
     parts: List[str] = []
     headline = [
@@ -420,6 +472,62 @@ def render_html_report(
               arc.messages, "yes" if arc.resolved else "no"]
              for arc in kpi_report.arcs]))
 
+    if incidents:
+        parts.append("<h2>Incidents</h2>")
+        for incident in incidents:
+            reason = incident.get("reason", "?")
+            time = incident.get("time", 0.0)
+            parts.append(
+                f'<p class="breach">Trigger: {_html.escape(str(reason))} '
+                f"at t={time:g}s.</p>")
+            rows = incident.get("rows") or []
+            if rows:
+                parts.append(_html_table(
+                    ["rank", "kind", "subject", "t (s)", "score", "summary"],
+                    rows))
+            bundle = incident.get("bundle")
+            if bundle:
+                parts.append(
+                    f"<p>Bundle: <code>{_html.escape(str(bundle))}</code> "
+                    "(replay with <code>python -m repro incident replay"
+                    "</code>).</p>")
+
+    if telemetry:
+        parts.append("<h2>Telemetry budget</h2>")
+        trace_h = telemetry.get("trace", {})
+        spans_h = telemetry.get("spans", {})
+        series_h = telemetry.get("series", {})
+        rows = [
+            ["trace events buffered", trace_h.get("events", 0)],
+            ["trace ring-buffer drops", trace_h.get("dropped", 0)],
+            ["trace subscriber errors", trace_h.get("subscriber_errors", 0)],
+            ["spans retained", spans_h.get("recorded", 0)],
+            ["spans retained (approx bytes)", spans_h.get("approx_bytes", 0)],
+            ["spans sampled out", spans_h.get("sampled_out", 0)],
+            ["metric series", series_h.get("count", 0)],
+            ["metric points retained", series_h.get("points", 0)],
+        ]
+        sampling = spans_h.get("sampling")
+        if sampling:
+            rows.append(["span sampling rate", sampling.get("rate")])
+        overhead = telemetry.get("overhead")
+        if overhead:
+            rows.extend([
+                ["telemetry records", overhead.get("records", 0)],
+                ["recording wall time (s)",
+                 overhead.get("recording_wall_s", 0.0)],
+            ])
+            fraction = overhead.get("recording_fraction")
+            if fraction is not None:
+                rows.append(["recording fraction of run", f"{fraction:.2%}"])
+        parts.append(_html_table(["signal", "value"], rows))
+
+    if bench_trajectory:
+        parts.append("<h2>Bench trajectory</h2>")
+        parts.append(_html_table(
+            ["metric", "first", "last", "drift", "drift %"],
+            bench_trajectory))
+
     body = "".join(parts)
     return (
         "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
@@ -442,12 +550,17 @@ def write_html_report(
     availability_per_device: Optional[Dict[str, float]] = None,
     network_kinds: Optional[Dict[str, StreamingHistogram]] = None,
     per_source: Optional[Dict[str, List[int]]] = None,
+    incidents: Optional[List[Dict[str, Any]]] = None,
+    telemetry: Optional[Dict[str, Any]] = None,
+    bench_trajectory: Optional[List[List[Any]]] = None,
 ) -> int:
     """Write the HTML resilience report; returns bytes written."""
     document = render_html_report(
         title, kpi_report, slo_monitor=slo_monitor,
         availability_per_device=availability_per_device,
-        network_kinds=network_kinds, per_source=per_source)
+        network_kinds=network_kinds, per_source=per_source,
+        incidents=incidents, telemetry=telemetry,
+        bench_trajectory=bench_trajectory)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(document)
     return len(document.encode("utf-8"))

@@ -14,6 +14,7 @@ before ``:`` so a profile reads as a per-subsystem cost table.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Dict, Optional
 
 
@@ -63,10 +64,15 @@ class Instrument:
         self._queue_depth_sum = 0
         self.first_event_time: Optional[float] = None
         self.last_event_time: Optional[float] = None
+        # Optional OverheadMeter (repro.observability.overhead): accounts
+        # the profiler's own cost when attached.
+        self.meter: Optional[Any] = None
 
     # -- hot-path hook (called by Simulator.step) -------------------------- #
     def record(self, label: str, wall_seconds: float, queue_depth: int,
                sim_time: float) -> None:
+        meter = self.meter
+        started = perf_counter() if meter is not None else 0.0
         self.events += 1
         self.total_busy_s += wall_seconds
         self._queue_depth_sum += queue_depth
@@ -79,6 +85,9 @@ class Instrument:
         if self.first_event_time is None:
             self.first_event_time = sim_time
         self.last_event_time = sim_time
+        if meter is not None:
+            meter.instrument_count += 1
+            meter.instrument_wall_s += perf_counter() - started
 
     # -- reporting --------------------------------------------------------- #
     @property

@@ -21,7 +21,13 @@ from __future__ import annotations
 import itertools
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.observability.overhead import (
+    ALWAYS_SAMPLE_CATEGORIES,
+    DROPPED_TRACE_ID,
+)
 
 
 @dataclass(frozen=True)
@@ -70,6 +76,16 @@ class Span:
         return self.end is not None
 
     @property
+    def sampled(self) -> bool:
+        """False for spans elided by head-based sampling.
+
+        Unsampled spans are returned from ``start`` so call sites stay
+        branch-free (they can attach attrs and finish as usual), but the
+        recorder neither stores nor indexes them.
+        """
+        return self.context.trace_id != DROPPED_TRACE_ID
+
+    @property
     def duration(self) -> Optional[float]:
         """Elapsed simulated time, or None while the span is still open.
 
@@ -100,6 +116,21 @@ class Span:
 
 ParentLike = Union[Span, SpanContext, None]
 
+#: Shared context for unsampled spans.  One frozen instance suffices --
+#: nothing stores or indexes a dropped span, so identity never matters;
+#: children recognize the sentinel trace id and drop themselves.
+_DROPPED_CONTEXT = SpanContext(trace_id=DROPPED_TRACE_ID, span_id="s!")
+
+#: The one throwaway span every sampled-out ``start`` returns.  It is
+#: pre-finished so ``finish`` no-ops on it, and shared so the drop fast
+#: path allocates nothing: the whole point of sampling is that eliding a
+#: span must cost far less than recording it, and a fresh Span + dict
+#: per drop was the dominant cost.  Nothing stores or reads dropped
+#: spans (``sampled`` is False), so shared mutable state is harmless.
+_DROPPED_SPAN = Span(name="sampled-out", category="sampled-out",
+                     context=_DROPPED_CONTEXT, start=0.0, end=0.0,
+                     status="sampled-out")
+
 
 class SpanRecorder:
     """Creates, finishes and indexes spans.
@@ -116,7 +147,8 @@ class SpanRecorder:
     trace.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sampler: Optional[Any] = None,
+                 always_sample: Any = ALWAYS_SAMPLE_CATEGORIES) -> None:
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
         self._spans: List[Span] = []
@@ -124,6 +156,16 @@ class SpanRecorder:
         self._open: Dict[str, Span] = {}
         self._stack: List[SpanContext] = []
         self._fault_index: Dict[str, Span] = {}
+        # Head-based sampling (repro.observability.overhead.SpanSampler):
+        # the keep/drop decision is made once at the trace root and
+        # inherited by every descendant via the sentinel context.  Fault
+        # arcs (``always_sample`` categories) always root kept traces.
+        self.sampler = sampler
+        self.always_sample = frozenset(always_sample)
+        self.sampled_out = 0
+        # Optional OverheadMeter: accounts the wall-clock cost of span
+        # recording itself.  One ``is None`` check per call when off.
+        self.meter: Optional[Any] = None
 
     # -- creation --------------------------------------------------------- #
     def start(
@@ -138,17 +180,50 @@ class SpanRecorder:
 
         Without an explicit ``parent`` the span is parented to the current
         context (if any); a parentless span roots a fresh trace.
+
+        With a sampler attached, a parentless span may lose the keep/drop
+        coin flip: the returned span then carries the sentinel dropped
+        context and is not stored, and descendants (which inherit the
+        sentinel through propagation) are elided without re-consulting
+        the sampler.  Root trace ordinals are consumed either way, so the
+        kept traces keep the exact ids an unsampled run would give them.
         """
-        parent_ctx = self._resolve_parent(parent)
+        meter = self.meter
+        started = perf_counter() if meter is not None else 0.0
+        # Parent resolution and the drop exits are inlined rather than
+        # factored into helpers: with sampling on this is the kernel hot
+        # path, and eliding a span must cost a fraction of recording one
+        # -- each avoided Python call is a measurable slice of that
+        # budget (see benchmarks/regress.py bench_observability).
+        if parent is None:
+            stack = self._stack
+            parent_ctx = stack[-1] if stack else None
+        else:
+            parent_ctx = parent.context if isinstance(parent, Span) else parent
         if parent_ctx is not None:
+            if parent_ctx.trace_id == DROPPED_TRACE_ID:
+                self.sampled_out += 1
+                if meter is not None:
+                    meter.spans_count += 1
+                    meter.spans_wall_s += perf_counter() - started
+                return _DROPPED_SPAN
             context = SpanContext(
                 trace_id=parent_ctx.trace_id,
                 span_id=f"s{next(self._span_ids):06d}",
                 parent_id=parent_ctx.span_id,
             )
         else:
+            trace_seq = next(self._trace_ids)
+            sampler = self.sampler
+            if (sampler is not None and category not in self.always_sample
+                    and not sampler.keep(trace_seq)):
+                self.sampled_out += 1
+                if meter is not None:
+                    meter.spans_count += 1
+                    meter.spans_wall_s += perf_counter() - started
+                return _DROPPED_SPAN
             context = SpanContext(
-                trace_id=f"t{next(self._trace_ids):04d}",
+                trace_id=f"t{trace_seq:04d}",
                 span_id=f"s{next(self._span_ids):06d}",
             )
         span = Span(name=name, category=category, context=context,
@@ -156,16 +231,31 @@ class SpanRecorder:
         self._spans.append(span)
         self._by_id[span.span_id] = span
         self._open[span.span_id] = span
+        if meter is not None:
+            meter.spans_count += 1
+            meter.spans_wall_s += perf_counter() - started
         return span
 
     def finish(self, span: Span, time: float, status: str = "ok", **attrs: Any) -> Span:
-        """Close ``span`` at simulated ``time`` (idempotent)."""
+        """Close ``span`` at simulated ``time`` (idempotent).
+
+        Safe on sampled-out spans: they are the shared pre-finished
+        throwaway, recognized by identity and returned untouched (their
+        recording cost was already accounted at ``start``).
+        """
+        if span is _DROPPED_SPAN:
+            return span
+        meter = self.meter
+        started = perf_counter() if meter is not None else 0.0
         if span.end is None:
             span.end = float(time)
             span.status = status
             if attrs:
                 span.attrs.update(attrs)
             self._open.pop(span.span_id, None)
+        if meter is not None:
+            meter.spans_count += 1
+            meter.spans_wall_s += perf_counter() - started
         return span
 
     def record(
@@ -180,13 +270,6 @@ class SpanRecorder:
         """Start and immediately finish an instantaneous span."""
         span = self.start(name, category, time, parent=parent, **attrs)
         return self.finish(span, time, status=status)
-
-    def _resolve_parent(self, parent: ParentLike) -> Optional[SpanContext]:
-        if parent is None:
-            return self.current
-        if isinstance(parent, Span):
-            return parent.context
-        return parent
 
     # -- current-context stack -------------------------------------------- #
     @property

@@ -108,13 +108,42 @@ def _ensure_builtin() -> None:
 
     @register_scenario("mape-outage")
     def _mape_outage(seed: int, params: Dict[str, Any]) -> PreparedRun:
-        """Fig. 5's MAPE placement run (default: edge placement)."""
+        """Fig. 5's MAPE placement run (default: edge placement).
+
+        ``monitored`` attaches the SLO monitoring stack (probe, default
+        SLOs, gossip liveness mesh) exactly as the CLI's ``monitor``
+        command does; ``strict`` adds the cloud-availability SLO.
+        """
         placement = params.get("placement", "edge")
+        monitored = bool(params.get("monitored"))
+        strict = bool(params.get("strict"))
+        aux: Dict[str, Any] = {}
+
+        def setup(system, loops) -> None:
+            from repro.observability.scenarios import monitored_setup
+
+            aux["monitor"] = monitored_setup(system, loops, strict=strict,
+                                             city=False)
+
         system, loops = prepare_mape_placement(
-            placement, seed=seed or 19, observe=bool(params.get("observe")))
+            placement, seed=seed or 19,
+            observe=bool(params.get("observe")) or monitored,
+            setup=setup if monitored else None)
+        aux["loops"] = loops
         return PreparedRun(system=system,
                            horizon=float(params.get("horizon", FIG5_HORIZON)),
-                           aux={"loops": loops})
+                           aux=aux)
+
+    @register_scenario("smart-city-partition")
+    def _smart_city(seed: int, params: Dict[str, Any]) -> PreparedRun:
+        """The canonical observed run: a smart city losing its cloud."""
+        from repro.observability.scenarios import prepare_smart_city_partition
+
+        return prepare_smart_city_partition(
+            seed=seed,
+            quick=bool(params.get("quick")),
+            monitored=bool(params.get("monitored")),
+            strict=bool(params.get("strict")))
 
     @register_scenario("control-outage")
     def _control(seed: int, params: Dict[str, Any]) -> PreparedRun:

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 class TimeSeries:
@@ -127,6 +128,10 @@ class MetricsRecorder:
     def __init__(self) -> None:
         self._series: Dict[str, TimeSeries] = {}
         self._counters: Dict[str, float] = {}
+        # Optional OverheadMeter (repro.observability.overhead): when
+        # attached, record/set_level account their own wall-clock cost.
+        # One ``is None`` check per call when detached.
+        self.meter: Optional[Any] = None
 
     # -- series --------------------------------------------------------- #
     def series(self, name: str, kind: Optional[str] = None) -> TimeSeries:
@@ -148,11 +153,25 @@ class MetricsRecorder:
 
     def record(self, name: str, time: float, value: float) -> None:
         """Append a sample observation."""
+        meter = self.meter
+        if meter is None:
+            self.series(name, kind="sample").append(time, value)
+            return
+        started = perf_counter()
         self.series(name, kind="sample").append(time, value)
+        meter.metrics_count += 1
+        meter.metrics_wall_s += perf_counter() - started
 
     def set_level(self, name: str, time: float, value: float) -> None:
         """Append a level change (piecewise-constant signal)."""
+        meter = self.meter
+        if meter is None:
+            self.series(name, kind="level").append(time, value)
+            return
+        started = perf_counter()
         self.series(name, kind="level").append(time, value)
+        meter.metrics_count += 1
+        meter.metrics_wall_s += perf_counter() - started
 
     def has_series(self, name: str) -> bool:
         return name in self._series
@@ -167,6 +186,27 @@ class MetricsRecorder:
 
     def counter(self, name: str) -> float:
         return self._counters.get(name, 0.0)
+
+    def counter_adder(self, name: str) -> Callable[[float], None]:
+        """A bound fast-path incrementer for hot loops.
+
+        The returned callable closes over the counter dict and key, so a
+        per-event increment costs one dict store instead of an attribute
+        lookup, a method call and a ``.get`` default.  Semantically
+        identical to :meth:`increment` (same counter, digest-visible the
+        same way).
+        """
+        counters = self._counters
+        counters.setdefault(name, 0.0)
+
+        def add(amount: float = 1.0) -> None:
+            counters[name] = counters[name] + amount
+
+        return add
+
+    def total_points(self) -> int:
+        """Observations retained across every series (telemetry budget)."""
+        return sum(len(series) for series in self._series.values())
 
     @property
     def counter_names(self) -> List[str]:

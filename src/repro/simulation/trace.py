@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 
@@ -73,6 +74,9 @@ class TraceLog:
         self._subscribers: List[Callable[[TraceEvent], None]] = []
         self.dropped = 0
         self.subscriber_errors = 0
+        # Optional OverheadMeter (repro.observability.overhead): accounts
+        # emit cost when attached; one ``is None`` check otherwise.
+        self.meter: Optional[Any] = None
 
     def emit(
         self,
@@ -90,6 +94,8 @@ class TraceLog:
         counted in :attr:`subscriber_errors`, and the first exception is
         re-raised after dispatch completes.
         """
+        meter = self.meter
+        started = perf_counter() if meter is not None else 0.0
         if self._events and time < self._events[-1].time:
             raise ValueError(
                 f"trace time went backwards: {time} < {self._events[-1].time}"
@@ -106,6 +112,9 @@ class TraceLog:
                 self.subscriber_errors += 1
                 if first_error is None:
                     first_error = exc
+        if meter is not None:
+            meter.trace_count += 1
+            meter.trace_wall_s += perf_counter() - started
         if first_error is not None:
             raise first_error
         return event

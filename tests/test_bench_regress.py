@@ -139,10 +139,62 @@ class TestHarness:
         assert regress.main(["--compare", base, base]) == 0
         assert regress.main(["--compare", base, cur]) == 1
 
-    def test_seeded_baseline_is_loadable(self):
-        baseline = os.path.join(os.path.dirname(_REGRESS_PATH),
-                                "baselines", "BENCH_1.json")
-        snapshot = regress.load_snapshot(baseline)
-        assert set(snapshot["benches"]) == set(regress.SCENARIOS)
-        for metrics in snapshot["benches"].values():
-            assert "wall_s" in metrics
+    def test_seeded_baselines_are_loadable(self):
+        # Older snapshots may predate newer benches (that is what the
+        # trajectory view exists to show); the NEWEST baseline must
+        # cover the full scenario set.
+        import glob
+        import re
+
+        baselines_dir = os.path.join(os.path.dirname(_REGRESS_PATH),
+                                     "baselines")
+        paths = sorted(
+            glob.glob(os.path.join(baselines_dir, "BENCH_*.json")),
+            key=lambda p: int(re.fullmatch(
+                r"BENCH_(\d+)\.json", os.path.basename(p)).group(1)))
+        assert paths
+        for path in paths:
+            snapshot = regress.load_snapshot(path)
+            assert set(snapshot["benches"]) <= set(regress.SCENARIOS)
+            for metrics in snapshot["benches"].values():
+                assert "wall_s" in metrics
+        newest = regress.load_snapshot(paths[-1])
+        assert set(newest["benches"]) == set(regress.SCENARIOS)
+
+
+class TestTrajectory:
+    def test_trajectory_prints_drift_and_exits_clean(self, snapshot,
+                                                     tmp_path, capsys):
+        regress.write_snapshot(snapshot, str(tmp_path), number=1)
+        newer = copy.deepcopy(snapshot)
+        newer["benches"]["kernel"]["wall_s"] = 0.2
+        regress.write_snapshot(newer, str(tmp_path), number=2)
+        assert regress.main(["--trajectory", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trajectory over 2 snapshot(s)" in out
+        assert "kernel.wall_s" in out
+        assert "+100.0%" in out
+
+    def test_trajectory_refuses_mixed_quick_and_full(self, snapshot,
+                                                     tmp_path, capsys):
+        regress.write_snapshot(snapshot, str(tmp_path), number=1)
+        full = copy.deepcopy(snapshot)
+        full["quick"] = False
+        regress.write_snapshot(full, str(tmp_path), number=2)
+        assert regress.main(["--trajectory", str(tmp_path)]) == 1
+        assert "refused" in capsys.readouterr().out
+
+    def test_trajectory_with_no_snapshots_fails(self, tmp_path, capsys):
+        assert regress.main(["--trajectory", str(tmp_path)]) == 1
+        assert "no BENCH_" in capsys.readouterr().out
+
+    def test_observability_bench_is_deterministic(self):
+        first = regress.bench_observability(quick=True)
+        second = regress.bench_observability(quick=True)
+        for metric in ("spans_full", "spans_sampled", "spans_sampled_out",
+                       "metric_points_full", "metric_points_sampled",
+                       "ticks_counted"):
+            assert first[metric] == second[metric], metric
+        assert first["ticks_counted"] == 6000.0
+        assert first["spans_full"] == first["spans_sampled"] + \
+            first["spans_sampled_out"]
