@@ -12,6 +12,13 @@ match exactly, timings may drift within a generous bound -- so a CI run
 can flag both behavioural drift and order-of-magnitude slowdowns without
 flaking on scheduler noise.
 
+Instrumented benches also capture a profiling-plane snapshot
+(:func:`repro.observability.profile.capture_profile`) under a top-level
+``profiles`` key -- ignored by the metric comparison, so old baselines
+stay comparable -- and when a comparison *does* flag regressions the
+report runs a differential profile over the two snapshots and names the
+subsystem plane responsible for each regressed bench.
+
 Usage::
 
     python benchmarks/regress.py --quick                  # snapshot to CWD
@@ -71,6 +78,12 @@ def tolerance_for(metric: str) -> Tuple[float, str]:
 # --------------------------------------------------------------------------- #
 # bench scenarios
 # --------------------------------------------------------------------------- #
+# Profiling-plane snapshots captured as a side effect of instrumented
+# bench runs; take_snapshot() clears this and folds it into the
+# ``profiles`` section of the written BENCH_<n>.json.
+_RUN_PROFILES: Dict[str, Dict[str, Any]] = {}
+
+
 def bench_smart_city(quick: bool) -> Dict[str, float]:
     """The observed smart-city disruption run and its resilience KPIs."""
     from repro.cli import _run_smart_city_partition
@@ -79,6 +92,8 @@ def bench_smart_city(quick: bool) -> Dict[str, float]:
     system = _run_smart_city_partition(quick)
     wall = time.perf_counter() - started
     system.spans.finish_open(system.sim.now)
+    _RUN_PROFILES["smart_city"] = system.profile_snapshot(
+        meta={"scenario": "smart-city-partition", "quick": quick})
     report = system.kpi_report()
     arcs = report.arcs
     mttrs = [arc.mttr for arc in arcs if arc.mttr is not None]
@@ -441,14 +456,18 @@ SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
 # --------------------------------------------------------------------------- #
 def take_snapshot(quick: bool, label: str = "",
                   only: Optional[List[str]] = None) -> Dict[str, Any]:
+    _RUN_PROFILES.clear()
     benches: Dict[str, Dict[str, float]] = {}
     for name, runner in SCENARIOS.items():
         if only and name not in only:
             continue
         print(f"[regress] running bench {name!r}...", flush=True)
         benches[name] = runner(quick)
-    return {"schema": SCHEMA, "quick": quick, "label": label,
-            "benches": benches}
+    snapshot: Dict[str, Any] = {"schema": SCHEMA, "quick": quick,
+                                "label": label, "benches": benches}
+    if _RUN_PROFILES:
+        snapshot["profiles"] = dict(_RUN_PROFILES)
+    return snapshot
 
 
 def next_snapshot_number(out_dir: str) -> int:
@@ -539,7 +558,9 @@ def compare_snapshots(
     return regressions
 
 
-def print_report(regressions: List[Dict[str, Any]]) -> None:
+def print_report(regressions: List[Dict[str, Any]],
+                 baseline: Optional[Dict[str, Any]] = None,
+                 current: Optional[Dict[str, Any]] = None) -> None:
     if not regressions:
         print("[regress] OK: no regressions against baseline")
         return
@@ -547,6 +568,15 @@ def print_report(regressions: List[Dict[str, Any]]) -> None:
     for reg in regressions:
         print(f"  - {reg['bench']}.{reg['metric']} [{reg['kind']}]: "
               f"{reg['baseline']} -> {reg['current']} ({reg['detail']})")
+    if baseline is not None and current is not None:
+        from repro.observability.profile import attribute_regressions
+
+        attribution = attribute_regressions(
+            [f"{reg['bench']}.{reg['metric']}: {reg['detail']}"
+             for reg in regressions],
+            baseline, current)
+        for line in attribution:
+            print(f"  * {line}")
 
 
 def print_trajectory(baselines_dir: str) -> int:
@@ -639,6 +669,24 @@ def self_test(tmp_dir: str = ".") -> bool:
                for r in compare_snapshots(base, missing)):
         failures.append("disappearing bench was not detected")
 
+    # Attribution: a regression on a profiled bench must be blamed on the
+    # plane whose wall time moved most between the snapshots' profiles.
+    from repro.observability.profile import attribute_regressions
+
+    planes = {"transport": {"count": 100, "total_ms": 10.0},
+              "mape": {"count": 50, "total_ms": 5.0}}
+    profiled_base = json.loads(json.dumps(base))
+    profiled_base["profiles"] = {"smart_city": {
+        "schema": 1, "meta": {}, "planes": planes, "labels": {}}}
+    profiled_cur = json.loads(json.dumps(profiled_base))
+    profiled_cur["profiles"]["smart_city"]["planes"]["mape"]["total_ms"] = 25.0
+    attribution = attribute_regressions(
+        ["smart_city.wall_s: drift +180.00% exceeds higher tolerance 100%"],
+        profiled_base, profiled_cur)
+    if not any("'mape'" in line for line in attribution):
+        failures.append("profile diff did not attribute the regression "
+                        f"to the slowed plane (got {attribution!r})")
+
     for failure in failures:
         print(f"[regress] self-test FAIL: {failure}")
     if not failures:
@@ -678,17 +726,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trajectory is not None:
         return print_trajectory(args.trajectory)
     if args.compare:
-        regressions = compare_snapshots(load_snapshot(args.compare[0]),
-                                        load_snapshot(args.compare[1]))
-        print_report(regressions)
+        base, cur = (load_snapshot(args.compare[0]),
+                     load_snapshot(args.compare[1]))
+        regressions = compare_snapshots(base, cur)
+        print_report(regressions, baseline=base, current=cur)
         return 1 if regressions else 0
 
     snapshot = take_snapshot(args.quick, label=args.label, only=args.only)
     path = write_snapshot(snapshot, args.out, number=args.number)
     print(f"[regress] wrote {path}")
     if args.baseline:
-        regressions = compare_snapshots(load_snapshot(args.baseline), snapshot)
-        print_report(regressions)
+        base = load_snapshot(args.baseline)
+        regressions = compare_snapshots(base, snapshot)
+        print_report(regressions, baseline=base, current=snapshot)
         return 1 if regressions else 0
     return 0
 

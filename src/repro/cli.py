@@ -32,6 +32,11 @@ incident    ``incident show <bundle>`` prints a captured incident's
             trigger, ranked causal chain and evidence inventory;
             ``incident replay <bundle>`` deterministically reproduces the
             bundle's triggering window and verifies its state digest.
+profile     ``profile run <scenario>`` runs fully observed and captures a
+            profile snapshot (per-plane cost attribution, flamegraphs,
+            request critical paths); ``profile diff <a> <b>`` attributes
+            the delta between two snapshots (or two BENCH baselines) to
+            subsystems.
 all         Every table command above, in order.
 
 Every gated command (monitor, traffic, security, replay) runs under a
@@ -513,6 +518,7 @@ def cmd_report(quick: bool, scenario: str = "smart-city-partition",
             histograms[f"network_latency_seconds_{kind}"] = hist
     per_source = system.network.stats.per_source
     health = telemetry_health(system)
+    profile = system.profile_snapshot(meta={"scenario": scenario})
     incidents = None
     if flight.triggered:
         flight.finalize()
@@ -527,11 +533,13 @@ def cmd_report(quick: bool, scenario: str = "smart-city-partition",
         per_source=per_source,
         incidents=incidents,
         telemetry=health,
-        bench_trajectory=_bench_trajectory_rows_if_available())
+        bench_trajectory=_bench_trajectory_rows_if_available(),
+        profile=profile)
     n_lines = write_prometheus(system.metrics, prom_path,
                                histograms=histograms,
                                per_source=per_source,
-                               telemetry=health)
+                               telemetry=health,
+                               profile=profile)
     with open(kpi_path, "w", encoding="utf-8") as fh:
         json.dump({"kpis": report.to_dict(), "slos": monitor.to_dict()},
                   fh, indent=2, sort_keys=True, default=str)
@@ -916,6 +924,140 @@ def cmd_security(quick: bool, scenario: str = "byzantine-gossip",
 
 
 # --------------------------------------------------------------------------- #
+# profile: subsystem cost attribution and differential profiling
+# --------------------------------------------------------------------------- #
+PROFILE_VERBS = ("run", "diff")
+PROFILE_SCENARIOS = ("smart-city-partition", "mape-outage",
+                     "traffic-overload", "traffic-retry-storm")
+
+
+def cmd_profile_run(quick: bool, scenario: str = "smart-city-partition",
+                    out: str = "prof-out",
+                    seed: Optional[int] = None) -> int:
+    """Run a scenario fully observed and capture a profile snapshot.
+
+    Artifacts under ``out``: ``profile.json`` (the snapshot ``profile
+    diff`` consumes), ``kernel.folded`` / ``spans.folded`` (collapsed
+    stacks for flamegraph.pl / speedscope), and ``profile.chrome.json``
+    (per-plane Perfetto track view).
+    """
+    from repro.observability.overhead import telemetry_health
+    from repro.observability.profile import (
+        collapsed_kernel_stacks,
+        collapsed_span_stacks,
+        profile_plane_rows,
+        save_profile,
+        write_flamegraph,
+        write_profile_chrome_trace,
+    )
+    from repro.persistence import ScenarioSpec, prepare
+
+    params: Dict[str, object] = {}
+    if scenario == "smart-city-partition":
+        params["quick"] = quick
+    elif quick and scenario == "traffic-overload":
+        params["horizon"] = 15.0
+    elif quick and scenario == "traffic-retry-storm":
+        params["horizon"] = 35.0
+    spec = ScenarioSpec(name=scenario, seed=seed, params=params)
+    _progress(f"profiling scenario {scenario!r}...")
+    prepared = prepare(spec)
+    system = prepared.system
+    system.enable_observability(meter=True)
+    system.run(until=prepared.horizon)
+    system.spans.finish_open(system.sim.now)
+    profile = system.profile_snapshot(meta={
+        "scenario": scenario, "horizon": prepared.horizon,
+        "quick": bool(quick)})
+
+    os.makedirs(out, exist_ok=True)
+    profile_path = os.path.join(out, "profile.json")
+    kernel_folded = os.path.join(out, "kernel.folded")
+    span_folded = os.path.join(out, "spans.folded")
+    chrome_path = os.path.join(out, "profile.chrome.json")
+    save_profile(profile, profile_path)
+    n_kernel = write_flamegraph(kernel_folded, collapsed_kernel_stacks(profile))
+    n_spans = write_flamegraph(
+        span_folded, collapsed_span_stacks(system.spans, now=system.sim.now))
+    n_chrome = write_profile_chrome_trace(chrome_path, system.spans,
+                                          now=system.sim.now)
+    _print_table(
+        f"profile: artifacts ({scenario}, horizon {system.sim.now:.0f}s)",
+        ["artifact", "path", "records"],
+        [["profile snapshot", profile_path, profile["kernel"]["events"]],
+         ["kernel flamegraph (collapsed)", kernel_folded, n_kernel],
+         ["span flamegraph (collapsed)", span_folded, n_spans],
+         ["Chrome trace (planes)", chrome_path, n_chrome]])
+    _print_table(
+        "profile: subsystem cost attribution",
+        ["plane", "events", "wall (ms)", "share", "mean (us)",
+         "queue lag (s)"],
+        profile_plane_rows(profile))
+    critical = profile.get("critical_path")
+    if critical:
+        _print_table(
+            "profile: request critical path",
+            ["segment", "summed (s)", "dominant"],
+            [[segment, critical["segments"][segment],
+              "<-" if segment == critical["dominant_segment"] else ""]
+             for segment in ("queue", "service", "network", "retry")])
+    health = telemetry_health(system)
+    overhead = (health.get("overhead") or {}).get("recording_fraction")
+    if overhead is not None:
+        _progress(f"\ntelemetry overhead: {overhead:.2%} of run wall time "
+                  "(budget: 10%)")
+    _print_data("profile", profile)
+    _progress(f"\ndiff against another run with: python -m repro profile "
+              f"diff {profile_path} <other-profile.json>")
+    return 0
+
+
+def _profiles_in(data: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+    """Named profiles inside a loaded JSON file.
+
+    Accepts either a bare ``capture_profile`` snapshot or a regress.py
+    BENCH snapshot (whose ``profiles`` section holds one per scenario).
+    """
+    from repro.observability.profile import profiles_from_bench
+
+    if "benches" in data:
+        return profiles_from_bench(data)
+    return {"profile": data}
+
+
+def cmd_profile_diff(path_a: str, path_b: str) -> int:
+    """Attribute the delta between two profile snapshots to subsystems."""
+    from repro.observability.profile import (
+        diff_profiles,
+        load_profile,
+        render_profile_diff,
+    )
+
+    try:
+        before, after = load_profile(path_a), load_profile(path_b)
+    except (OSError, json.JSONDecodeError) as exc:
+        _progress(f"profile: cannot load snapshot: {exc}")
+        return 2
+    a_profiles, b_profiles = _profiles_in(before), _profiles_in(after)
+    common = sorted(set(a_profiles) & set(b_profiles))
+    if not common and len(a_profiles) == 1 and len(b_profiles) == 1:
+        # One profile on each side under different names: compare them.
+        common = [next(iter(a_profiles))]
+        b_profiles = {common[0]: next(iter(b_profiles.values()))}
+    if not common:
+        _progress("profile: the snapshots share no profiled scenarios "
+                  f"({sorted(a_profiles)} vs {sorted(b_profiles)})")
+        return 2
+    for name in common:
+        diff = diff_profiles(a_profiles[name], b_profiles[name])
+        _print_block(f"profile diff: {name}",
+                     f"\n== profile diff: {name} ==\n"
+                     + render_profile_diff(diff))
+        _print_data(f"profile diff: {name}", diff)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # incident: inspect and replay captured incident bundles
 # --------------------------------------------------------------------------- #
 INCIDENT_VERBS = ("show", "replay")
@@ -1023,20 +1165,26 @@ def main(argv: List[str] = None) -> int:
                                                     "report", "checkpoint",
                                                     "resume", "replay",
                                                     "traffic", "security",
-                                                    "incident"],
+                                                    "incident", "profile"],
                         help="which experiment to run")
     parser.add_argument("scenario", nargs="?",
                         choices=sorted(set(TRACE_SCENARIOS)
                                        | set(persistence_scenarios)
                                        | set(TRAFFIC_SCENARIOS)
                                        | set(SECURITY_SCENARIOS)
-                                       | set(INCIDENT_VERBS)),
+                                       | set(INCIDENT_VERBS)
+                                       | set(PROFILE_VERBS)),
                         default=None,
                         help="scenario for the trace/monitor/report/"
-                             "checkpoint/traffic/security commands, or "
-                             "show|replay for the incident command")
+                             "checkpoint/traffic/security commands, "
+                             "show|replay for the incident command, or "
+                             "run|diff for the profile command")
     parser.add_argument("path", nargs="?", default=None,
-                        help="incident: path to a captured incident bundle")
+                        help="incident: path to a captured incident bundle; "
+                             "profile run: scenario name; profile diff: "
+                             "first snapshot")
+    parser.add_argument("path2", nargs="?", default=None,
+                        help="profile diff: second snapshot")
     parser.add_argument("--quick", action="store_true",
                         help="smaller/faster variants of the experiments")
     parser.add_argument("--json", action="store_true",
@@ -1052,7 +1200,8 @@ def main(argv: List[str] = None) -> int:
                              "(default: the scenario's crash point or "
                              "mid-horizon)")
     parser.add_argument("--seed", type=int, default=None,
-                        help="checkpoint: override the scenario seed")
+                        help="checkpoint / profile run: override the "
+                             "scenario seed")
     parser.add_argument("--until", type=float, default=None,
                         help="resume/replay: stop at this simulated time "
                              "instead of the scenario horizon")
@@ -1088,9 +1237,21 @@ def main(argv: List[str] = None) -> int:
                          f"choose from {INCIDENT_VERBS}")
         if args.path is None:
             parser.error(f"incident {args.scenario} needs a bundle path")
+    elif args.command == "profile":
+        if args.scenario not in PROFILE_VERBS:
+            parser.error(f"profile needs a verb: choose from {PROFILE_VERBS}")
+        if args.scenario == "run":
+            if args.path is None:
+                args.path = "smart-city-partition"
+            elif args.path not in PROFILE_SCENARIOS:
+                parser.error(f"scenario {args.path!r} is not available for "
+                             f"'profile run' (choose from {PROFILE_SCENARIOS})")
+        elif args.path is None or args.path2 is None:
+            parser.error("profile diff needs two snapshot paths")
     if args.out is None:
         args.out = ("checkpoint-out"
                     if args.command in ("checkpoint", "resume", "replay")
+                    else "prof-out" if args.command == "profile"
                     else "trace-out")
     if args.json:
         _JSON_COLLECTOR = []
@@ -1126,6 +1287,11 @@ def main(argv: List[str] = None) -> int:
             exit_code = (cmd_incident_show(args.path)
                          if args.scenario == "show"
                          else cmd_incident_replay(args.path))
+        elif args.command == "profile":
+            exit_code = (cmd_profile_run(args.quick, scenario=args.path,
+                                         out=args.out, seed=args.seed)
+                         if args.scenario == "run"
+                         else cmd_profile_diff(args.path, args.path2))
         else:
             COMMANDS[args.command](args.quick)
         if _JSON_COLLECTOR is not None:

@@ -110,6 +110,24 @@ class IoTSystem:
             self.sim.context["flight"] = self.flight
         return self.flight
 
+    def profile_snapshot(self, meta=None):
+        """Capture a profiling-plane snapshot of this system's telemetry.
+
+        A :func:`~repro.observability.profile.capture_profile` dict over
+        the kernel instrument and span recorder as they stand -- pure
+        read, so calling it mid-run perturbs nothing the digest sees.
+        Requires :meth:`enable_observability` (returns a near-empty
+        profile otherwise).
+        """
+        from repro.observability.profile import capture_profile
+
+        merged = {"seed": self.rngs.seed}
+        if meta:
+            merged.update(meta)
+        return capture_profile(
+            instrument=self.sim.instrument, spans=self.spans,
+            meta=merged, now=self.sim.now)
+
     # -- construction ----------------------------------------------------------#
     @classmethod
     def with_edge_cloud_landscape(

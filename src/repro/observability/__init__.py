@@ -29,6 +29,11 @@ quantitative layer monitored against goals:
 * :mod:`~repro.observability.diagnosis` -- ranks the causal chain behind
   a trigger (fault arc → degraded subsystem → SLO breach) from the span
   tree's fault index and recorded series.
+* :mod:`~repro.observability.profile` -- the profiling plane: per-plane
+  subsystem cost attribution (transport/coordination/mape/traffic/...),
+  collapsed-stack flamegraphs, request critical-path decomposition, and
+  differential profiling (``python -m repro profile run|diff``) that
+  names the subsystem responsible for a bench regression.
 * :mod:`~repro.observability.overhead` -- the telemetry budget:
   deterministic head-based span sampling (:class:`SpanSampler`),
   self-metering of recording cost (:class:`OverheadMeter`) and the
@@ -60,7 +65,26 @@ from repro.observability.flight import (
     replay_incident,
 )
 from repro.observability.histogram import StreamingHistogram, log_bounds
-from repro.observability.instrument import Instrument, LabelStats
+from repro.observability.instrument import (
+    Instrument,
+    InstrumentSnapshot,
+    LabelStats,
+)
+from repro.observability.profile import (
+    capture_profile,
+    collapsed_kernel_stacks,
+    collapsed_span_stacks,
+    diff_profiles,
+    load_profile,
+    plane_of_category,
+    plane_of_label,
+    profile_prom_lines,
+    render_profile_diff,
+    request_critical_paths,
+    save_profile,
+    write_flamegraph,
+    write_profile_chrome_trace,
+)
 from repro.observability.overhead import (
     OverheadMeter,
     SpanSampler,
@@ -118,15 +142,29 @@ __all__ = [
     "kpi_report_for_system",
     "load_manifest",
     "log_bounds",
+    "InstrumentSnapshot",
+    "capture_profile",
+    "collapsed_kernel_stacks",
+    "collapsed_span_stacks",
+    "diff_profiles",
+    "load_profile",
+    "plane_of_category",
+    "plane_of_label",
+    "profile_prom_lines",
     "prometheus_text",
+    "render_profile_diff",
     "replay_incident",
+    "request_critical_paths",
+    "save_profile",
     "telemetry_health",
     "telemetry_prom_lines",
     "write_chrome_trace",
     "write_events_jsonl",
+    "write_flamegraph",
     "write_html_report",
     "write_metrics_snapshot",
     "write_profile",
+    "write_profile_chrome_trace",
     "write_prometheus",
     "write_spans_jsonl",
 ]

@@ -194,6 +194,7 @@ def prometheus_text(
     prefix: str = "repro_",
     per_source: Optional[Dict[str, List[int]]] = None,
     telemetry: Optional[Dict[str, Any]] = None,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Render recorder state in the Prometheus text exposition format.
 
@@ -208,6 +209,9 @@ def prometheus_text(
     :func:`~repro.observability.overhead.telemetry_health` dict) appends
     the telemetry-budget gauges: ring-buffer drops, span retention and
     the ``repro_observability_overhead_*`` self-metering family.
+    ``profile`` (a :func:`~repro.observability.profile.capture_profile`
+    snapshot) appends the ``repro_profile_*`` plane-attribution and
+    request-segment families.
     """
     lines: List[str] = []
     if per_source:
@@ -251,6 +255,10 @@ def prometheus_text(
         from repro.observability.overhead import telemetry_prom_lines
 
         lines.extend(telemetry_prom_lines(telemetry, prefix=prefix))
+    if profile is not None:
+        from repro.observability.profile import profile_prom_lines
+
+        lines.extend(profile_prom_lines(profile, prefix=prefix))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -261,10 +269,12 @@ def write_prometheus(
     prefix: str = "repro_",
     per_source: Optional[Dict[str, List[int]]] = None,
     telemetry: Optional[Dict[str, Any]] = None,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> int:
     """Write the Prometheus exposition; returns the number of lines."""
     text = prometheus_text(metrics, histograms=histograms, prefix=prefix,
-                           per_source=per_source, telemetry=telemetry)
+                           per_source=per_source, telemetry=telemetry,
+                           profile=profile)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
     return text.count("\n")
@@ -359,6 +369,7 @@ def render_html_report(
     incidents: Optional[List[Dict[str, Any]]] = None,
     telemetry: Optional[Dict[str, Any]] = None,
     bench_trajectory: Optional[List[List[Any]]] = None,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Build the self-contained HTML resilience report.
 
@@ -371,7 +382,10 @@ def render_html_report(
     diagnosis ``rows`` (:meth:`~repro.observability.diagnosis.Diagnosis.table_rows`),
     plus an optional ``bundle`` path.  ``telemetry`` is a
     :func:`~repro.observability.overhead.telemetry_health` dict;
-    ``bench_trajectory`` rows come from :func:`bench_trajectory_rows`.
+    ``bench_trajectory`` rows come from :func:`bench_trajectory_rows`;
+    ``profile`` is a :func:`~repro.observability.profile.capture_profile`
+    snapshot rendered as the "Profile" section (per-plane cost
+    attribution + request critical-path breakdown).
     """
     parts: List[str] = []
     headline = [
@@ -522,6 +536,51 @@ def render_html_report(
                 rows.append(["recording fraction of run", f"{fraction:.2%}"])
         parts.append(_html_table(["signal", "value"], rows))
 
+    if profile:
+        from repro.observability.profile import (
+            profile_plane_rows,
+            profile_segment_rows,
+        )
+
+        parts.append("<h2>Profile</h2>")
+        plane_rows = profile_plane_rows(profile)
+        if plane_rows:
+            parts.append(_html_table(
+                ["plane", "events", "wall (ms)", "share", "mean (µs)",
+                 "queue lag (s)"],
+                plane_rows))
+        kernel = profile.get("kernel")
+        if kernel:
+            parts.append(
+                f"<p>{kernel['events']} kernel events, "
+                f"{kernel['busy_ms']:.1f} ms busy, mean queue depth "
+                f"{kernel['mean_queue_depth']:.1f} "
+                f"(max {kernel['max_queue_depth']}).</p>")
+        segment_rows = profile_segment_rows(profile)
+        if segment_rows:
+            parts.append("<h2>Request critical path</h2>")
+            parts.append(_html_table(
+                ["segment", "summed time (s)", "share"], segment_rows))
+            critical = profile["critical_path"]
+            parts.append(
+                f"<p>{critical['requests']} requests "
+                f"({critical['failed']} failed), mean latency "
+                f"{critical['mean_latency_s'] * 1e3:.2f} ms; dominant "
+                f"segment: <strong>{_html.escape(str(critical['dominant_segment']))}"
+                "</strong>.</p>")
+            top = critical.get("top") or []
+            if top:
+                parts.append(_html_table(
+                    ["trace", "request", "status", "latency (ms)", "queue (ms)",
+                     "service (ms)", "network (ms)", "retry (ms)", "attempts"],
+                    [[row["trace_id"], row["name"], row["status"],
+                      row["latency_s"] * 1e3,
+                      row["segments"]["queue"] * 1e3,
+                      row["segments"]["service"] * 1e3,
+                      row["segments"]["network"] * 1e3,
+                      row["segments"]["retry"] * 1e3,
+                      row["attempts"]] for row in top]))
+
     if bench_trajectory:
         parts.append("<h2>Bench trajectory</h2>")
         parts.append(_html_table(
@@ -553,6 +612,7 @@ def write_html_report(
     incidents: Optional[List[Dict[str, Any]]] = None,
     telemetry: Optional[Dict[str, Any]] = None,
     bench_trajectory: Optional[List[List[Any]]] = None,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> int:
     """Write the HTML resilience report; returns bytes written."""
     document = render_html_report(
@@ -560,7 +620,7 @@ def write_html_report(
         availability_per_device=availability_per_device,
         network_kinds=network_kinds, per_source=per_source,
         incidents=incidents, telemetry=telemetry,
-        bench_trajectory=bench_trajectory)
+        bench_trajectory=bench_trajectory, profile=profile)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(document)
     return len(document.encode("utf-8"))

@@ -39,7 +39,8 @@ class Event:
     fires or is cancelled.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "fired", "label")
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "fired",
+                 "label", "created")
 
     def __init__(
         self,
@@ -48,6 +49,7 @@ class Event:
         seq: int,
         callback: Callable[["Simulator"], None],
         label: str = "",
+        created: float = 0.0,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -56,6 +58,10 @@ class Event:
         self.cancelled = False
         self.fired = False
         self.label = label
+        # Simulated time the event was scheduled; time - created is its
+        # queue lag.  Telemetry-only: not serialized in pending_events(),
+        # so checkpoints and digests are unaffected.
+        self.created = created
 
     @property
     def pending(self) -> bool:
@@ -141,7 +147,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        event = Event(time, priority, self._next_seq, callback, label=label)
+        event = Event(time, priority, self._next_seq, callback, label=label,
+                      created=self._now)
         self._next_seq += 1
         heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
         self._pending += 1
@@ -173,7 +180,8 @@ class Simulator:
                 started = perf_counter()
                 event.callback(self)
                 instrument.record(event.label, perf_counter() - started,
-                                  self._pending, self._now)
+                                  self._pending, self._now,
+                                  self._now - event.created)
             else:
                 event.callback(self)
             observer = self.on_event
@@ -282,7 +290,8 @@ class Simulator:
             raise SimulationError(
                 f"restored seq {seq} not below next_seq {self._next_seq}"
             )
-        event = Event(time, priority, seq, callback, label=label)
+        event = Event(time, priority, seq, callback, label=label,
+                      created=self._now)
         heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
         self._pending += 1
         return event

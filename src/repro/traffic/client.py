@@ -112,7 +112,18 @@ class TrafficClient:
             "timeout_event": None,
             "hedge_event": None,
             "retry_event": None,
+            # Telemetry only (excluded from snapshot_state, digest-neutral):
+            # the request span carries the critical-path segment breakdown
+            # read by repro.observability.profile, and attempt_started
+            # anchors the current attempt for that decomposition.
+            "span": None,
+            "attempt_started": now,
         }
+        spans = self.network.spans
+        if spans is not None:
+            call["span"] = spans.start(
+                f"request:{self.name}", "request", now,
+                req_id=req_id, weight=weight, target=self.target)
         self._open[req_id] = call
         self._send_attempt(call)
         return req_id
@@ -121,6 +132,8 @@ class TrafficClient:
                       destination: Optional[str] = None,
                       hedged: bool = False) -> None:
         now = self.sim.now
+        if not hedged:
+            call["attempt_started"] = now
         payload = {
             "req_id": call["req_id"],
             "client": self.name,
@@ -174,6 +187,22 @@ class TrafficClient:
                 self.metrics.record(f"traffic.latency:{self.name}", now, latency)
             if self.breaker is not None:
                 self.breaker.record_success(now)
+            span = call["span"]
+            if span is not None:
+                # Segment decomposition: retry covers everything before the
+                # answering attempt started (backoffs + failed attempts),
+                # queue/service come from the server's reply, and network is
+                # the residual -- so the four segments sum to the measured
+                # end-to-end latency by construction.
+                queue_s = float(payload.get("queued_for", 0.0))
+                service_s = float(payload.get("service_time", 0.0))
+                retry_s = call["attempt_started"] - call["created"]
+                network_s = max(0.0, latency - retry_s - queue_s - service_s)
+                self.network.spans.finish(
+                    span, now, status="ok",
+                    queue_s=queue_s, service_s=service_s,
+                    network_s=network_s, retry_s=retry_s,
+                    attempts=call["attempt"] + call["hedges_sent"])
             self._close(call)
             self._completed(call["req_id"], True)
         else:  # rejected at the server door
@@ -238,6 +267,19 @@ class TrafficClient:
         weight = call["weight"]
         self.stats.failed += weight
         self._count("failed", weight)
+        span = call["span"]
+        if span is not None:
+            # No reply to read queue/service from: time in the last attempt
+            # counts as network (sent, never usefully answered), everything
+            # before it as retry -- still summing to end-to-end elapsed.
+            now = self.sim.now
+            retry_s = call["attempt_started"] - call["created"]
+            self.network.spans.finish(
+                span, now, status="failed",
+                queue_s=0.0, service_s=0.0,
+                network_s=max(0.0, now - call["attempt_started"]),
+                retry_s=retry_s,
+                attempts=call["attempt"] + call["hedges_sent"])
         self._close(call)
         self._completed(call["req_id"], False)
 
@@ -316,6 +358,11 @@ class TrafficClient:
                 "timeout_event": None,
                 "hedge_event": None,
                 "retry_event": None,
+                # Telemetry-only fields restart cold: spans are digest-
+                # neutral, and a post-restore decomposition that folds the
+                # pre-crash wait into retry_s still sums to end-to-end.
+                "span": None,
+                "attempt_started": float(saved["created"]),
             }
             if saved["timeout_event"] is not None:
                 call["timeout_event"] = restore_event_ref(

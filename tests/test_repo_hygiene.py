@@ -1,0 +1,44 @@
+"""The repository must not track build artifacts or run outputs.
+
+Committed ``__pycache__`` byte-code or ``trace-out/`` bundles churn
+every diff and can shadow real sources; this test (and the matching CI
+step) fails the moment one is staged again.
+"""
+
+import os
+import re
+import subprocess
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ARTIFACT_PATTERN = re.compile(
+    r"(^|/)__pycache__/|\.pyc$"
+    r"|^(trace-out|bench-out|prof-out|checkpoint-out)/")
+
+
+def _tracked_files():
+    try:
+        proc = subprocess.run(["git", "ls-files"], cwd=REPO_ROOT,
+                              capture_output=True, text=True, timeout=60)
+    except (OSError, subprocess.TimeoutExpired):
+        pytest.skip("git unavailable")
+    if proc.returncode != 0:
+        pytest.skip("not a git checkout")
+    return proc.stdout.splitlines()
+
+
+def test_no_run_artifacts_tracked():
+    offenders = [path for path in _tracked_files()
+                 if ARTIFACT_PATTERN.search(path)]
+    assert not offenders, (
+        f"run artifacts tracked in git (first 10): {offenders[:10]}; "
+        "git rm --cached them -- .gitignore already covers these paths")
+
+
+def test_gitignore_covers_artifact_paths():
+    with open(os.path.join(REPO_ROOT, ".gitignore"), encoding="utf-8") as fh:
+        ignored = fh.read()
+    for needle in ("__pycache__/", "*.pyc", "trace-out/", "bench-out/",
+                   "prof-out/", "checkpoint-out/"):
+        assert needle in ignored, f".gitignore lost the {needle!r} entry"
