@@ -64,6 +64,7 @@ _EPS = 1e-9
 TOLERANCES: List[Tuple[str, float, str]] = [
     (r".*\.wall_s$", 1.0, "higher"),        # allow 2x before flagging
     (r".*\.events_per_s$", 0.5, "lower"),   # throughput: flag 50% drops
+    (r".*\.specs_per_s$", 0.5, "lower"),    # compile throughput: same rule
     (r".*", _EPS, "both"),                  # everything else: deterministic
 ]
 
@@ -439,6 +440,45 @@ def bench_observability(quick: bool) -> Dict[str, float]:
     }
 
 
+def bench_chaos(quick: bool) -> Dict[str, float]:
+    """Chaos-plane cost: spec-compile throughput and campaign wall per run.
+
+    Two legs.  First, ``compile.specs_per_s``: sampled specs compiled
+    (full system wiring -- topology, traffic, faults, defenses,
+    monitor) but never run; the number campaigns pay per case before
+    any simulation happens.  Second, a small seeded campaign
+    (``shrink=False``, no corpus) measuring end-to-end wall per case at
+    a short horizon.  Event and violation counts are deterministic
+    functions of the campaign seed, so they double as drift tripwires
+    on the sampler and compiler: any change to the sampling stream or
+    the compiled wiring shows up as an exact-metric diff before it can
+    silently re-name every corpus bundle.
+    """
+    from repro.chaos import ChaosCampaign, SpecSampler, compile_spec
+
+    n_compile = 20 if quick else 50
+    sampler = SpecSampler(84)
+    specs = [sampler.sample(index) for index in range(n_compile)]
+    started = time.perf_counter()
+    for spec in specs:
+        compile_spec(spec)
+    compile_wall = time.perf_counter() - started
+
+    runs = 2 if quick else 3
+    campaign = ChaosCampaign(seed=84, runs=runs, horizon=10.0, shrink=False)
+    result = campaign.run()
+    return {
+        "wall_s": compile_wall + result.wall_s,
+        "compile.wall_s": compile_wall,
+        "compile.specs_per_s": (n_compile / compile_wall
+                                if compile_wall > 0 else 0.0),
+        "campaign.wall_s": result.wall_s,
+        "campaign.run_wall_s": result.wall_s / runs,
+        "campaign.events": float(sum(case.events for case in result.cases)),
+        "campaign.violations": float(result.violation_count),
+    }
+
+
 SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
     "smart_city": bench_smart_city,
     "mape_outage": bench_mape_outage,
@@ -448,6 +488,7 @@ SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
     "traffic": bench_traffic,
     "security": bench_security,
     "observability": bench_observability,
+    "chaos": bench_chaos,
 }
 
 

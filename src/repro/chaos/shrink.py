@@ -1,0 +1,132 @@
+"""Greedy deterministic shrinking of failing chaos specs.
+
+A campaign's raw finding usually arms more axes than the failure needs:
+the workload, the extra fault, the adversary may all be bystanders.  The
+shrinker walks a fixed candidate order -- drop the adversary, drop each
+fault, weaken the traffic pattern one notch, drop the workload, shrink
+the topology -- re-running the spec after each single-axis edit and
+keeping the edit whenever *some* violation survives (not necessarily the
+original one: a smaller spec exposing a different breach is still a
+smaller failing spec).  It repeats until a full pass changes nothing, so
+the result is a local minimum: removing any one remaining axis makes the
+failure disappear.
+
+Everything is deterministic: candidate order is fixed, the oracle is the
+seeded :func:`~repro.chaos.campaign.run_case`, and no randomness is
+involved -- the same failing spec always shrinks to the same minimum.
+The ``oracle`` parameter exists for tests: a synthetic predicate (e.g.
+"fails iff the adversary axis is armed") lets convergence be verified
+without running simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.chaos.spec import (
+    AdversaryAxis,
+    ChaosSpec,
+    TopologyAxis,
+    TrafficAxis,
+    TRAFFIC_PATTERNS,
+)
+
+#: An oracle maps a candidate spec to the violations it still triggers
+#: (empty tuple = the candidate passes, so the edit is rejected).
+ShrinkOracle = Callable[[ChaosSpec], Tuple[str, ...]]
+
+#: Safety valve: a shrink never needs more re-runs than this (each
+#: accepted edit strictly reduces axis_count, each pass is O(axes)).
+MAX_ATTEMPTS = 64
+
+
+@dataclass
+class ShrinkReport:
+    """The minimum found, and the path that led there."""
+
+    spec: ChaosSpec
+    violations: Tuple[str, ...]
+    attempts: int = 0
+    accepted: List[str] = field(default_factory=list)
+    rejected: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_dict(),
+            "describe": self.spec.describe(),
+            "violations": list(self.violations),
+            "attempts": self.attempts,
+            "accepted": list(self.accepted),
+            "rejected": list(self.rejected),
+        }
+
+
+def _default_oracle(spec: ChaosSpec) -> Tuple[str, ...]:
+    from repro.chaos.campaign import run_case
+
+    return run_case(spec).violations
+
+
+def _candidates(spec: ChaosSpec) -> List[Tuple[str, ChaosSpec]]:
+    """Single-axis weakenings of ``spec``, in fixed priority order."""
+    out: List[Tuple[str, ChaosSpec]] = []
+    if spec.adversary.attack != "none":
+        out.append(("drop-adversary",
+                    replace(spec, adversary=AdversaryAxis())))
+    for index in range(len(spec.faults)):
+        kept = spec.faults[:index] + spec.faults[index + 1:]
+        out.append((f"drop-fault-{index}", replace(spec, faults=kept)))
+    if spec.traffic.pattern != "none":
+        rank = TRAFFIC_PATTERNS.index(spec.traffic.pattern)
+        weaker = TRAFFIC_PATTERNS[rank - 1]
+        if weaker == "none":
+            out.append(("drop-traffic", replace(spec, traffic=TrafficAxis())))
+        else:
+            out.append((f"weaken-traffic-{weaker}",
+                        replace(spec, traffic=replace(spec.traffic,
+                                                      pattern=weaker))))
+    if spec.workload != "none":
+        out.append(("drop-workload", replace(spec, workload="none")))
+    if spec.topology.sites > 2:
+        out.append(("shrink-sites",
+                    replace(spec, topology=replace(spec.topology, sites=2))))
+    if spec.topology.devices_per_site > 1:
+        out.append(("shrink-devices",
+                    replace(spec, topology=replace(spec.topology,
+                                                   devices_per_site=1))))
+    return out
+
+
+def shrink_spec(spec: ChaosSpec,
+                oracle: Optional[ShrinkOracle] = None,
+                max_attempts: int = MAX_ATTEMPTS) -> ShrinkReport:
+    """Greedily minimize a failing spec while it keeps failing.
+
+    ``spec`` must fail under ``oracle`` (raises ``ValueError``
+    otherwise -- shrinking a passing spec means the caller's finding was
+    not reproducible, which should never be silent).
+    """
+    judge = oracle if oracle is not None else _default_oracle
+    violations = tuple(judge(spec))
+    if not violations:
+        raise ValueError(
+            f"spec does not violate anything; nothing to shrink: "
+            f"{spec.describe()}")
+    report = ShrinkReport(spec=spec, violations=violations, attempts=1)
+    improved = True
+    while improved and report.attempts < max_attempts:
+        improved = False
+        for label, candidate in _candidates(report.spec):
+            if report.attempts >= max_attempts:
+                break
+            report.attempts += 1
+            still_failing = tuple(judge(candidate))
+            if still_failing:
+                report.spec = candidate
+                report.violations = still_failing
+                report.accepted.append(label)
+                improved = True
+                break           # restart the pass from the new, smaller spec
+            report.rejected.append(label)
+    return report

@@ -37,6 +37,16 @@ profile     ``profile run <scenario>`` runs fully observed and captures a
             request critical paths); ``profile diff <a> <b>`` attributes
             the delta between two snapshots (or two BENCH baselines) to
             subsystems.
+chaos       ``chaos run`` drives a seeded chaos-search campaign over
+            declarative specs (topology x workload x traffic x faults x
+            adversary x maturity), shrinks every violation to a minimal
+            spec and emits replay bundles into ``--corpus``;
+            ``chaos shrink <spec.json>`` minimizes one failing spec;
+            ``chaos corpus`` replays every corpus bundle and verifies
+            each state digest bit-for-bit (exit nonzero on divergence).
+scenarios   ``scenarios list`` prints the unified scenario registry --
+            every runnable scenario across all planes, with its owning
+            plane, variants and description.
 all         Every table command above, in order.
 
 Every gated command (monitor, traffic, security, replay) runs under a
@@ -1141,6 +1151,143 @@ def cmd_incident_replay(path: str) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# chaos: seeded spec-space search, shrinking and the replay corpus
+# --------------------------------------------------------------------------- #
+CHAOS_VERBS = ("run", "shrink", "corpus")
+SCENARIOS_VERBS = ("list",)
+
+#: The documented demo seed (EXPERIMENTS.md CHAOS-1): this campaign
+#: rediscovers the retry-storm metastable collapse on a naive config.
+CHAOS_DEMO_SEED = 84
+CHAOS_DEMO_RUNS = 6
+
+
+def cmd_chaos_run(quick: bool, seed: Optional[int] = None,
+                  runs: Optional[int] = None, out: str = "chaos-out",
+                  corpus: str = "corpus") -> int:
+    """Run a seeded campaign; shrink and bundle every violation."""
+    from repro.chaos import ChaosCampaign
+    from repro.observability.export import write_chaos_report
+
+    seed = CHAOS_DEMO_SEED if seed is None else seed
+    if runs is None:
+        runs = 3 if quick else CHAOS_DEMO_RUNS
+    _progress(f"chaos campaign: seed {seed}, {runs} sampled specs, "
+              f"corpus -> {corpus!r}...")
+    campaign = ChaosCampaign(seed=seed, runs=runs, shrink=True,
+                             corpus_dir=corpus, progress=_progress)
+    result = campaign.run()
+    payload = result.to_dict()
+    _print_table(
+        "chaos campaign: cases",
+        ["case", "spec", "digest", "events", "verdict"],
+        [[index, case.spec.describe(), case.spec.digest(), case.events,
+          ", ".join(case.violations) if case.violated else "ok"]
+         for index, case in enumerate(result.cases)])
+    if result.findings:
+        _print_table(
+            "chaos campaign: shrunk findings",
+            ["found", "shrunk to", "attempts", "violations", "bundle"],
+            [[f.case.spec.describe(), f.shrunk.describe(),
+              f.shrink_attempts, ", ".join(f.shrunk_violations),
+              f.bundle or "-"] for f in result.findings])
+    _print_data("chaos campaign", payload)
+    os.makedirs(out, exist_ok=True)
+    report_path = os.path.join(out, "chaos-report.html")
+    write_chaos_report(report_path, f"Chaos campaign (seed {seed})",
+                       campaign=payload)
+    _progress(f"\nchaos: {result.violation_count}/{len(result.cases)} "
+              f"specs violated in {result.wall_s:.1f}s; "
+              f"report: {report_path}")
+    return 0
+
+
+def cmd_chaos_shrink(path: str, out: str = "chaos-out") -> int:
+    """Minimize one failing spec (a spec.json file or a bundle dir)."""
+    from repro.chaos import ChaosSpec, shrink_spec
+
+    spec_path = (os.path.join(path, "spec.json")
+                 if os.path.isdir(path) else path)
+    try:
+        with open(spec_path, encoding="utf-8") as fh:
+            spec = ChaosSpec.from_json(fh.read())
+    except (OSError, ValueError, KeyError) as exc:
+        _progress(f"chaos shrink: cannot load a spec from {path!r} ({exc})")
+        return 2
+    _progress(f"shrinking {spec.describe()} ({spec.axis_count()} axes)...")
+    try:
+        report = shrink_spec(spec)
+    except ValueError as exc:
+        _progress(f"chaos shrink: {exc}")
+        return 1
+    os.makedirs(out, exist_ok=True)
+    shrunk_path = os.path.join(out, f"chaos-shrunk-{report.spec.digest()}.json")
+    with open(shrunk_path, "w", encoding="utf-8") as fh:
+        fh.write(report.spec.to_json() + "\n")
+    _print_table(
+        "chaos shrink: minimal failing spec",
+        ["field", "value"],
+        [["found", spec.describe()],
+         ["found axes", spec.axis_count()],
+         ["shrunk", report.spec.describe()],
+         ["shrunk axes", report.spec.axis_count()],
+         ["attempts", report.attempts],
+         ["violations", ", ".join(report.violations)],
+         ["spec", shrunk_path]])
+    _print_data("chaos shrink", {
+        "found": spec.to_dict(), "shrunk": report.spec.to_dict(),
+        "shrunk_digest": report.spec.digest(),
+        "attempts": report.attempts,
+        "violations": list(report.violations),
+        "accepted": list(report.accepted), "spec_path": shrunk_path})
+    return 0
+
+
+def cmd_chaos_corpus(corpus: str = "corpus") -> int:
+    """Replay every corpus bundle; exit nonzero on any divergence."""
+    from repro.chaos import replay_corpus
+
+    _progress(f"replaying failure corpus {corpus!r}...")
+    verdicts, ok = replay_corpus(corpus)
+    payload = {"bundles": [v.to_dict() for v in verdicts], "ok": ok}
+    _print_data("chaos corpus", payload)
+    if not verdicts:
+        _progress("chaos corpus: empty (nothing to replay)")
+        return 0
+    _print_table(
+        "chaos corpus: replay verification",
+        ["bundle", "barrier (s)", "events", "verdict"],
+        [[os.path.basename(v.bundle),
+          "-" if v.barrier_time is None else v.barrier_time,
+          "-" if v.barrier_fired is None else v.barrier_fired,
+          "MATCH" if v.ok else (v.error or "FAILED")] for v in verdicts])
+    if ok:
+        _progress(f"\nCHAOS CORPUS: MATCH ({len(verdicts)} bundle(s) "
+                  "reproduced bit-for-bit)")
+        return 0
+    failed = sum(1 for v in verdicts if not v.ok)
+    _progress(f"\nCHAOS CORPUS: DIVERGED ({failed}/{len(verdicts)} "
+              "bundle(s) failed to reproduce)")
+    return 1
+
+
+def cmd_scenarios_list() -> int:
+    """Print the unified cross-plane scenario registry."""
+    from repro.scenarios import catalog
+
+    infos = catalog()
+    _print_table(
+        "scenarios: unified registry",
+        ["name", "plane", "variants", "description"],
+        [[info.name, info.plane,
+          ", ".join(info.variants) if info.variants else "-",
+          info.description] for info in infos])
+    _print_data("scenarios",
+                {"scenarios": [info.to_dict() for info in infos]})
+    return 0
+
+
 COMMANDS: Dict[str, Callable[[bool], None]] = {
     "maturity": cmd_maturity,
     "landscape": cmd_landscape,
@@ -1153,7 +1300,7 @@ COMMANDS: Dict[str, Callable[[bool], None]] = {
 
 def main(argv: List[str] = None) -> int:
     global _JSON_COLLECTOR
-    from repro.persistence import scenario_names
+    from repro.persistence import UnknownScenarioError, scenario_names
 
     persistence_scenarios = tuple(scenario_names())
     parser = argparse.ArgumentParser(
@@ -1165,7 +1312,8 @@ def main(argv: List[str] = None) -> int:
                                                     "report", "checkpoint",
                                                     "resume", "replay",
                                                     "traffic", "security",
-                                                    "incident", "profile"],
+                                                    "incident", "profile",
+                                                    "chaos", "scenarios"],
                         help="which experiment to run")
     parser.add_argument("scenario", nargs="?",
                         choices=sorted(set(TRACE_SCENARIOS)
@@ -1173,12 +1321,16 @@ def main(argv: List[str] = None) -> int:
                                        | set(TRAFFIC_SCENARIOS)
                                        | set(SECURITY_SCENARIOS)
                                        | set(INCIDENT_VERBS)
-                                       | set(PROFILE_VERBS)),
+                                       | set(PROFILE_VERBS)
+                                       | set(CHAOS_VERBS)
+                                       | set(SCENARIOS_VERBS)),
                         default=None,
                         help="scenario for the trace/monitor/report/"
                              "checkpoint/traffic/security commands, "
-                             "show|replay for the incident command, or "
-                             "run|diff for the profile command")
+                             "show|replay for the incident command, "
+                             "run|diff for the profile command, "
+                             "run|shrink|corpus for the chaos command, or "
+                             "list for the scenarios command")
     parser.add_argument("path", nargs="?", default=None,
                         help="incident: path to a captured incident bundle; "
                              "profile run: scenario name; profile diff: "
@@ -1205,6 +1357,12 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--until", type=float, default=None,
                         help="resume/replay: stop at this simulated time "
                              "instead of the scenario horizon")
+    parser.add_argument("--runs", type=int, default=None,
+                        help="chaos run: number of sampled specs "
+                             f"(default {CHAOS_DEMO_RUNS}, 3 with --quick)")
+    parser.add_argument("--corpus", default="corpus",
+                        help="chaos: failure-corpus directory "
+                             "(default 'corpus')")
     args = parser.parse_args(argv)
     if args.command in ("trace", "monitor", "report"):
         if args.scenario is None:
@@ -1248,10 +1406,24 @@ def main(argv: List[str] = None) -> int:
                              f"'profile run' (choose from {PROFILE_SCENARIOS})")
         elif args.path is None or args.path2 is None:
             parser.error("profile diff needs two snapshot paths")
+    elif args.command == "chaos":
+        if args.scenario is None:
+            args.scenario = "run"
+        elif args.scenario not in CHAOS_VERBS:
+            parser.error(f"chaos needs a verb: choose from {CHAOS_VERBS}")
+        if args.scenario == "shrink" and args.path is None:
+            parser.error("chaos shrink needs a spec.json (or bundle) path")
+    elif args.command == "scenarios":
+        if args.scenario is None:
+            args.scenario = "list"
+        elif args.scenario not in SCENARIOS_VERBS:
+            parser.error("scenarios needs a verb: "
+                         f"choose from {SCENARIOS_VERBS}")
     if args.out is None:
         args.out = ("checkpoint-out"
                     if args.command in ("checkpoint", "resume", "replay")
                     else "prof-out" if args.command == "profile"
+                    else "chaos-out" if args.command == "chaos"
                     else "trace-out")
     if args.json:
         _JSON_COLLECTOR = []
@@ -1292,8 +1464,34 @@ def main(argv: List[str] = None) -> int:
                                          out=args.out, seed=args.seed)
                          if args.scenario == "run"
                          else cmd_profile_diff(args.path, args.path2))
+        elif args.command == "chaos":
+            if args.scenario == "run":
+                exit_code = cmd_chaos_run(args.quick, seed=args.seed,
+                                          runs=args.runs, out=args.out,
+                                          corpus=args.corpus)
+            elif args.scenario == "shrink":
+                exit_code = cmd_chaos_shrink(args.path, out=args.out)
+            else:
+                exit_code = cmd_chaos_corpus(args.corpus)
+        elif args.command == "scenarios":
+            exit_code = cmd_scenarios_list()
         else:
             COMMANDS[args.command](args.quick)
+        if _JSON_COLLECTOR is not None:
+            print(json.dumps({"tables": _JSON_COLLECTOR,
+                              "exit_code": exit_code}, indent=2,
+                             default=str))
+    except UnknownScenarioError as exc:
+        # Journals, checkpoints and bundles can name scenarios this
+        # checkout no longer registers; list what *is* available instead
+        # of dumping a KeyError traceback.
+        exit_code = 2
+        _progress(f"error: unknown scenario {exc.name!r}")
+        _progress("available scenarios (python -m repro scenarios list):")
+        for name in exc.available:
+            _progress(f"  {name}")
+        _print_data("error", {"error": f"unknown scenario {exc.name!r}",
+                              "available": list(exc.available)})
         if _JSON_COLLECTOR is not None:
             print(json.dumps({"tables": _JSON_COLLECTOR,
                               "exit_code": exit_code}, indent=2,

@@ -359,6 +359,86 @@ def bench_trajectory_rows(
     return rows
 
 
+def chaos_campaign_rows(campaign: Dict[str, Any]) -> List[List[Any]]:
+    """Case rows for a campaign dict (``CampaignResult.to_dict()``)."""
+    rows: List[List[Any]] = []
+    for index, case in enumerate(campaign.get("cases", [])):
+        violations = case.get("violations") or []
+        rows.append([
+            index,
+            case.get("describe", "?"),
+            case.get("spec_digest", "?"),
+            case.get("events", 0),
+            ", ".join(violations) if violations else "ok",
+        ])
+    return rows
+
+
+def _render_chaos_section(chaos: Dict[str, Any]) -> str:
+    """The "Chaos campaign" report section.
+
+    ``chaos`` carries ``campaign`` (a ``CampaignResult.to_dict()``) and
+    optionally ``corpus`` (a list of ``BundleVerdict.to_dict()``).
+    """
+    parts: List[str] = []
+    campaign = chaos.get("campaign")
+    if campaign:
+        parts.append("<h2>Chaos campaign</h2>")
+        parts.append(
+            f"<p>Seed <code>{campaign.get('seed')}</code>: "
+            f"{campaign.get('runs', 0)} sampled specs, "
+            f"{campaign.get('violations', 0)} violation(s), "
+            f"{campaign.get('wall_s', 0.0):.1f}s wall.</p>")
+        rows = chaos_campaign_rows(campaign)
+        classes = ["ok" if row[-1] == "ok" else "breach" for row in rows]
+        parts.append(_html_table(
+            ["case", "spec", "digest", "events", "verdict"], rows,
+            classes=classes))
+        findings = campaign.get("findings") or []
+        if findings:
+            parts.append("<h3>Shrunk findings</h3>")
+            parts.append(_html_table(
+                ["found", "shrunk to", "attempts", "violations", "bundle"],
+                [[f.get("found", {}).get("describe", "?"),
+                  f.get("shrunk_describe", "?"),
+                  f.get("shrink_attempts", 0),
+                  ", ".join(f.get("shrunk_violations") or []),
+                  f.get("bundle") or "-"] for f in findings]))
+    corpus = chaos.get("corpus")
+    if corpus:
+        parts.append("<h2>Failure corpus</h2>")
+        classes = ["ok" if v.get("ok") else "breach" for v in corpus]
+        parts.append(_html_table(
+            ["bundle", "barrier (s)", "events", "verdict"],
+            [[v.get("bundle", "?"),
+              "-" if v.get("barrier_time") is None else v["barrier_time"],
+              "-" if v.get("barrier_fired") is None else v["barrier_fired"],
+              "replayed (digest match)" if v.get("ok")
+              else (v.get("error") or "failed")] for v in corpus],
+            classes=classes))
+    return "".join(parts)
+
+
+def write_chaos_report(path: PathLike, title: str,
+                       campaign: Optional[Dict[str, Any]] = None,
+                       corpus: Optional[List[Dict[str, Any]]] = None) -> int:
+    """Standalone self-contained HTML page for a chaos campaign/corpus."""
+    body = _render_chaos_section({"campaign": campaign, "corpus": corpus})
+    document = (
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
+        f"<title>{_html.escape(title)}</title>"
+        f"<style>{_HTML_STYLE}</style></head><body>"
+        f"<h1>{_html.escape(title)}</h1>"
+        f"{body}"
+        "<footer>Generated by <code>python -m repro chaos</code> — all data "
+        "derives deterministically from the campaign seed.</footer>"
+        "</body></html>"
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(document)
+    return len(document.encode("utf-8"))
+
+
 def render_html_report(
     title: str,
     kpi_report: Any,
@@ -370,6 +450,7 @@ def render_html_report(
     telemetry: Optional[Dict[str, Any]] = None,
     bench_trajectory: Optional[List[List[Any]]] = None,
     profile: Optional[Dict[str, Any]] = None,
+    chaos: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Build the self-contained HTML resilience report.
 
@@ -581,6 +662,9 @@ def render_html_report(
                       row["segments"]["retry"] * 1e3,
                       row["attempts"]] for row in top]))
 
+    if chaos:
+        parts.append(_render_chaos_section(chaos))
+
     if bench_trajectory:
         parts.append("<h2>Bench trajectory</h2>")
         parts.append(_html_table(
@@ -613,6 +697,7 @@ def write_html_report(
     telemetry: Optional[Dict[str, Any]] = None,
     bench_trajectory: Optional[List[List[Any]]] = None,
     profile: Optional[Dict[str, Any]] = None,
+    chaos: Optional[Dict[str, Any]] = None,
 ) -> int:
     """Write the HTML resilience report; returns bytes written."""
     document = render_html_report(
@@ -620,7 +705,7 @@ def write_html_report(
         availability_per_device=availability_per_device,
         network_kinds=network_kinds, per_source=per_source,
         incidents=incidents, telemetry=telemetry,
-        bench_trajectory=bench_trajectory, profile=profile)
+        bench_trajectory=bench_trajectory, profile=profile, chaos=chaos)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(document)
     return len(document.encode("utf-8"))

@@ -310,10 +310,12 @@ class FlightRecorder:
             "key_rotations": getattr(plane, "key_rotations", 0),
         }
         if trust is not None:
-            subjects = sorted(trust.registered())
+            # TrustRegistry exposes ``registered``/``flagged`` as
+            # properties and ``distrusted``/``aggregate`` as methods.
+            subjects = sorted(trust.registered)
             out["aggregate"] = {s: trust.aggregate(s) for s in subjects}
             out["distrusted"] = trust.distrusted()
-            out["flagged"] = trust.flagged()
+            out["flagged"] = trust.flagged
         return out
 
     # ------------------------------------------------------------------ #

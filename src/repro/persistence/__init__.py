@@ -50,8 +50,10 @@ from repro.persistence.runner import (
 from repro.persistence.scenarios import (
     PreparedRun,
     ScenarioSpec,
+    UnknownScenarioError,
     prepare,
     register_scenario,
+    scenario_builders,
     scenario_names,
 )
 from repro.persistence.snapshot import (
@@ -78,6 +80,7 @@ __all__ = [
     "RunResult",
     "ScenarioSpec",
     "Snapshottable",
+    "UnknownScenarioError",
     "canonical_json",
     "default_paths",
     "fast_forward",
@@ -90,6 +93,7 @@ __all__ = [
     "run_scenario",
     "run_to_checkpoint",
     "save_checkpoint",
+    "scenario_builders",
     "scenario_names",
     "state_digest",
     "system_digest",

@@ -59,6 +59,24 @@ ScenarioBuilder = Callable[[int, Dict[str, Any]], PreparedRun]
 _REGISTRY: Dict[str, ScenarioBuilder] = {}
 
 
+class UnknownScenarioError(KeyError):
+    """An unregistered scenario name.
+
+    Subclasses ``KeyError`` for backward compatibility; carries the
+    registered names so callers (the CLI in particular) can list what
+    *is* available instead of dumping a traceback.
+    """
+
+    def __init__(self, name: str, available: List[str]) -> None:
+        super().__init__(
+            f"unknown scenario {name!r}; registered: {available}")
+        self.name = name
+        self.available = available
+
+    def __str__(self) -> str:
+        return f"unknown scenario {self.name!r}; registered: {self.available}"
+
+
 def register_scenario(name: str, builder: Optional[ScenarioBuilder] = None):
     """Register a builder under ``name`` (usable as a decorator)."""
 
@@ -76,13 +94,18 @@ def scenario_names() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def scenario_builders() -> Dict[str, ScenarioBuilder]:
+    """A copy of the registry (for catalog/introspection layers)."""
+    _ensure_builtin()
+    return dict(_REGISTRY)
+
+
 def prepare(spec: ScenarioSpec) -> PreparedRun:
     """Build (but do not run) the system described by ``spec``."""
     _ensure_builtin()
     builder = _REGISTRY.get(spec.name)
     if builder is None:
-        raise KeyError(
-            f"unknown scenario {spec.name!r}; registered: {scenario_names()}")
+        raise UnknownScenarioError(spec.name, scenario_names())
     return builder(spec.seed, dict(spec.params))
 
 
@@ -237,3 +260,22 @@ def _ensure_builtin() -> None:
             seed=seed or 43,
             variant=params.get("variant", "defended"),
             horizon=float(params.get("horizon", SYBIL_FLOOD_HORIZON)))
+
+    @register_scenario("chaos")
+    def _chaos(seed: int, params: Dict[str, Any]) -> PreparedRun:
+        """A compiled chaos spec (params carry its full dict form).
+
+        One registry entry covers the whole declarative cross-product:
+        ``params["spec"]`` is a :class:`repro.chaos.ChaosSpec` dict, and
+        the compiler wires it onto the same builders every hand-written
+        scenario uses -- so chaos runs checkpoint, resume and replay
+        like any curated scenario.  A persistence-level ``seed``
+        overrides the spec's own.
+        """
+        from repro.chaos.compiler import ScenarioCompiler
+        from repro.chaos.spec import ChaosSpec
+
+        chaos = ChaosSpec.from_dict(params.get("spec", {}))
+        if seed:
+            chaos = chaos.with_seed(seed)
+        return ScenarioCompiler().compile(chaos)

@@ -172,3 +172,82 @@ class TestTrafficCommand:
     def test_unknown_traffic_scenario_exits(self):
         with pytest.raises(SystemExit):
             main(["traffic", "mape-outage"])
+
+
+class TestScenariosCommand:
+    def test_list_prints_unified_registry(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("chaos", "traffic-overload", "smart-city-partition",
+                     "security-sybil-flood"):
+            assert name in out
+
+    def test_list_json_carries_planes_and_variants(self, capsys):
+        assert main(["scenarios", "list", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        data = next(t for t in doc["tables"]
+                    if t.get("title") == "scenarios")
+        rows = {row["name"]: row for row in data["data"]["scenarios"]}
+        assert rows["traffic-overload"]["plane"] == "traffic"
+        assert "admission" in rows["traffic-overload"]["variants"]
+        assert rows["chaos"]["plane"] == "chaos"
+
+    def test_rejects_unknown_verb(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run"])
+
+
+class TestUnknownScenarioHandling:
+    def _forged_journal(self, tmp_path, name="no-such-scenario"):
+        header = {"type": "header", "version": 1, "digest_every": 0,
+                  "scenario": {"name": name, "seed": 1, "params": {}}}
+        (tmp_path / "journal.jsonl").write_text(json.dumps(header) + "\n")
+
+    def test_replay_of_unknown_scenario_exits_2_with_listing(
+            self, tmp_path, capsys):
+        self._forged_journal(tmp_path)
+        assert main(["replay", "--out", str(tmp_path)]) == 2
+        out = capsys.readouterr().out
+        assert "unknown scenario 'no-such-scenario'" in out
+        assert "available scenarios" in out
+        assert "smart-city-partition" in out
+        assert "Traceback" not in out
+
+    def test_json_mode_reports_available_scenarios(self, tmp_path, capsys):
+        self._forged_journal(tmp_path)
+        assert main(["--json", "replay", "--out", str(tmp_path)]) == 2
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["exit_code"] == 2
+        error = next(t for t in doc["tables"] if t.get("title") == "error")
+        assert "chaos" in error["data"]["available"]
+
+
+class TestChaosCommand:
+    def test_run_clean_campaign_writes_report(self, tmp_path, capsys):
+        # Seed 84 case 0 passes, so a 1-run campaign is the cheap path:
+        # no shrink, no bundle, empty corpus.
+        assert main(["chaos", "run", "--seed", "84", "--runs", "1",
+                     "--out", str(tmp_path / "out"),
+                     "--corpus", str(tmp_path / "corpus")]) == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign: cases" in out
+        assert "0/1 specs violated" in out
+        html = (tmp_path / "out" / "chaos-report.html").read_text()
+        assert "Chaos campaign" in html
+
+    def test_corpus_empty_is_ok(self, tmp_path, capsys):
+        assert main(["chaos", "corpus",
+                     "--corpus", str(tmp_path / "corpus")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_shrink_missing_spec_exits_2(self, tmp_path, capsys):
+        assert main(["chaos", "shrink", str(tmp_path / "nope.json"),
+                     "--out", str(tmp_path)]) == 2
+
+    def test_shrink_requires_path(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "shrink"])
+
+    def test_rejects_unknown_verb(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "diff"])

@@ -14,7 +14,7 @@ import pytest
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 ARTIFACT_PATTERN = re.compile(
     r"(^|/)__pycache__/|\.pyc$"
-    r"|^(trace-out|bench-out|prof-out|checkpoint-out)/")
+    r"|^(trace-out|bench-out|prof-out|checkpoint-out|chaos-out|corpus)/")
 
 
 def _tracked_files():
@@ -40,5 +40,5 @@ def test_gitignore_covers_artifact_paths():
     with open(os.path.join(REPO_ROOT, ".gitignore"), encoding="utf-8") as fh:
         ignored = fh.read()
     for needle in ("__pycache__/", "*.pyc", "trace-out/", "bench-out/",
-                   "prof-out/", "checkpoint-out/"):
+                   "prof-out/", "checkpoint-out/", "chaos-out/", "corpus/"):
         assert needle in ignored, f".gitignore lost the {needle!r} entry"
