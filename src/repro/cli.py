@@ -60,10 +60,72 @@ from __future__ import annotations
 import argparse
 import json
 import os
-from typing import Callable, Dict, List, Optional
+import signal
+from typing import Callable, Dict, List, Optional, Tuple
 
 # When --json is active, tables accumulate here instead of printing.
 _JSON_COLLECTOR: Optional[List[Dict[str, object]]] = None
+
+
+# --------------------------------------------------------------------------- #
+# Signal handling
+# --------------------------------------------------------------------------- #
+class _HarnessSignal(BaseException):
+    """SIGINT/SIGTERM during a batch command, converted to an exception.
+
+    Derives from BaseException so scenario-level ``except Exception``
+    recovery paths (flight-recorder guards, gate handlers) don't swallow
+    it; ``main()`` catches it, flushes any armed flight recorder as a
+    ``harness-crash`` incident, and exits ``128 + signum`` (130 for
+    Ctrl-C) instead of dumping a KeyboardInterrupt traceback.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"interrupted by signal {signum}")
+        self.signum = signum
+
+
+# Armed flight recorders to flush if a signal lands mid-run:
+# (flight, bundle_dir, journal_path) registered by _run_monitored.
+_SIGNAL_FLIGHTS: List[Tuple[object, Optional[str], Optional[str]]] = []
+
+
+def _install_signal_handlers() -> None:
+    """Raise :class:`_HarnessSignal` on SIGINT/SIGTERM (batch commands).
+
+    Best-effort: embedding contexts (non-main threads, restricted
+    platforms) simply keep their default handlers.
+    """
+
+    def _handler(signum: int, _frame: object) -> None:
+        raise _HarnessSignal(signum)
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, _handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
+
+def _flush_signal_incidents(signum: int) -> List[str]:
+    """Capture ``harness-crash`` incidents on every armed flight recorder."""
+    try:
+        name = signal.Signals(signum).name
+    except ValueError:  # pragma: no cover - unknown signal number
+        name = str(signum)
+    bundles = []
+    for flight, bundle_dir, journal_path in list(_SIGNAL_FLIGHTS):
+        try:
+            flight.trigger("harness-crash", detail={"signal": name})
+            flight.finalize()
+            flight.disarm()
+            if bundle_dir is not None:
+                bundles.append(flight.capture(bundle_dir,
+                                              journal_path=journal_path))
+        except Exception:  # pragma: no cover - best-effort teardown
+            continue
+    _SIGNAL_FLIGHTS.clear()
+    return bundles
 
 
 def _print_table(title: str, headers: List[str], rows: List[List[object]]) -> None:
@@ -392,10 +454,16 @@ def _run_monitored(quick: bool, scenario: str, strict: bool,
     flight = FlightRecorder(system, spec=spec,
                             loops=prepared.aux.get("loops"))
     flight.arm()   # chains after the journaling observer
+    # Registered for the whole drive: a SIGINT/SIGTERM mid-run raises
+    # _HarnessSignal (a BaseException, so nothing below catches it) and
+    # main() flushes this recorder as a harness-crash incident.
+    registration = (flight, bundle_dir, journal_path)
+    _SIGNAL_FLIGHTS.append(registration)
     try:
         with flight.guard():
             _drive_to_horizon(system, prepared.horizon)
     except Exception:
+        _SIGNAL_FLIGHTS.remove(registration)
         flight.finalize()
         flight.disarm()
         if recorder is not None:
@@ -403,6 +471,7 @@ def _run_monitored(quick: bool, scenario: str, strict: bool,
         if bundle_dir is not None:
             flight.capture(bundle_dir, journal_path=journal_path)
         raise
+    _SIGNAL_FLIGHTS.remove(registration)
     monitor.evaluate_now()   # end-of-run evaluation at the final horizon
     flight.finalize()
     flight.disarm()
@@ -505,30 +574,24 @@ def _bench_trajectory_rows_if_available() -> Optional[List[List[object]]]:
 def cmd_report(quick: bool, scenario: str = "smart-city-partition",
                out: str = "trace-out", strict: bool = False) -> int:
     """Run monitored and write HTML + Prometheus + KPI JSON artifacts."""
-    from repro.observability.export import write_html_report, write_prometheus
-    from repro.observability.kpis import availability_kpis
-    from repro.observability.overhead import telemetry_health
+    from repro.observability.export import (
+        report_inputs,
+        write_html_report,
+        write_prometheus,
+    )
 
     _progress(f"running monitored scenario {scenario!r}...")
     system, monitor, flight, _ = _run_monitored(quick, scenario, strict)
     system.spans.finish_open(system.sim.now)
-    report = system.kpi_report()
-    availability = availability_kpis(system.metrics, system.sim.now)
 
     os.makedirs(out, exist_ok=True)
     html_path = os.path.join(out, "resilience-report.html")
     prom_path = os.path.join(out, "metrics.prom")
     kpi_path = os.path.join(out, "kpis.json")
-    histograms = {}
-    if report.repair_latency is not None and report.repair_latency.count:
-        histograms["repair_latency_seconds"] = report.repair_latency
-    per_kind = system.network.stats.per_kind
-    for kind, hist in sorted(per_kind.items()):
-        if hist.count:
-            histograms[f"network_latency_seconds_{kind}"] = hist
-    per_source = system.network.stats.per_source
-    health = telemetry_health(system)
-    profile = system.profile_snapshot(meta={"scenario": scenario})
+    # One assembly path shared with the live telemetry server, so the
+    # written artifacts and the served endpoints can never drift.
+    inputs = report_inputs(system, scenario=scenario)
+    report = inputs["kpi_report"]
     incidents = None
     if flight.triggered:
         flight.finalize()
@@ -538,18 +601,18 @@ def cmd_report(quick: bool, scenario: str = "smart-city-partition",
     n_bytes = write_html_report(
         html_path, f"Resilience report — {scenario}", report,
         slo_monitor=monitor,
-        availability_per_device=availability["per_device"],
-        network_kinds=per_kind,
-        per_source=per_source,
+        availability_per_device=inputs["availability"]["per_device"],
+        network_kinds=inputs["per_kind"],
+        per_source=inputs["per_source"],
         incidents=incidents,
-        telemetry=health,
+        telemetry=inputs["telemetry"],
         bench_trajectory=_bench_trajectory_rows_if_available(),
-        profile=profile)
+        profile=inputs["profile"])
     n_lines = write_prometheus(system.metrics, prom_path,
-                               histograms=histograms,
-                               per_source=per_source,
-                               telemetry=health,
-                               profile=profile)
+                               histograms=inputs["histograms"],
+                               per_source=inputs["per_source"],
+                               telemetry=inputs["telemetry"],
+                               profile=inputs["profile"])
     with open(kpi_path, "w", encoding="utf-8") as fh:
         json.dump({"kpis": report.to_dict(), "slos": monitor.to_dict()},
                   fh, indent=2, sort_keys=True, default=str)
@@ -1288,6 +1351,82 @@ def cmd_scenarios_list() -> int:
     return 0
 
 
+def cmd_live(quick: bool, scenario: str = "traffic-retry-storm",
+             out: str = "live-out", speed: float = 1.0,
+             port: int = 8321, checkpoint_every: float = 10.0,
+             reload_dir: Optional[str] = None,
+             until: Optional[float] = None,
+             seed: Optional[int] = None) -> int:
+    """Run a scenario as a long-lived, operable service.
+
+    Pacing, serving and checkpointing are all telemetry-only: the
+    journal in ``--out`` stays byte-identical to a batch
+    ``run_scenario`` of the same spec.  SIGINT/SIGTERM drain cleanly
+    (final checkpoint + incident flush, exit ``128 + signum``); a
+    SIGKILL'd service restarted on the same ``--out`` resumes from its
+    last periodic checkpoint.
+    """
+    from repro.live import LiveService
+    from repro.persistence import ScenarioSpec
+
+    params: Dict[str, object] = {}
+    if quick and scenario == "smart-city-partition":
+        params["quick"] = True
+    spec = ScenarioSpec(name=scenario, seed=seed, params=params)
+    service = LiveService(spec, out, speed=speed, port=port,
+                          checkpoint_every=checkpoint_every,
+                          reload_dir=reload_dir, until=until)
+    service.start(log=_progress)
+    _progress(f"live: {scenario} at speed {speed:g} "
+              f"(horizon {service.horizon:g}s); Ctrl-C drains cleanly")
+
+    # The batch handlers raise out of the run; a service instead drains
+    # at the next event boundary so no checkpoint ever captures a
+    # half-executed event.
+    received: Dict[str, int] = {}
+
+    def _drain_handler(signum: int, _frame: object) -> None:
+        received["signum"] = signum
+        service.request_drain()
+
+    previous = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous.append((signum, signal.signal(signum, _drain_handler)))
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        outcome = service.run()
+    finally:
+        for signum, handler in previous:
+            signal.signal(signum, handler)
+
+    stats = service.executor.stats
+    _print_table(
+        f"live: {scenario} ({outcome})",
+        ["signal", "value"],
+        [["outcome", outcome],
+         ["resumed from checkpoint", "yes" if service.resumed else "no"],
+         ["simulated time (s)", service.system.sim.now],
+         ["events fired", service.system.sim.fired_count],
+         ["speed factor", speed],
+         ["wall time (s)", stats.wall_s],
+         ["pacing sleep (s)", stats.slept_s],
+         ["max pacing lag (s)", stats.max_lag_s],
+         ["checkpoints written", service.checkpoints_written],
+         ["hot loads applied", len(service.hot_loads_applied)]])
+    _print_data("live", {
+        "outcome": outcome,
+        "resumed": service.resumed,
+        "checkpoints": service.checkpoints_written,
+        "hot_loads": service.hot_loads_applied,
+        "pacing": stats.to_dict(),
+    })
+    if outcome == "drained" and "signum" in received:
+        return 128 + received["signum"]
+    return 0
+
+
 COMMANDS: Dict[str, Callable[[bool], None]] = {
     "maturity": cmd_maturity,
     "landscape": cmd_landscape,
@@ -1313,7 +1452,8 @@ def main(argv: List[str] = None) -> int:
                                                     "resume", "replay",
                                                     "traffic", "security",
                                                     "incident", "profile",
-                                                    "chaos", "scenarios"],
+                                                    "chaos", "scenarios",
+                                                    "live"],
                         help="which experiment to run")
     parser.add_argument("scenario", nargs="?",
                         choices=sorted(set(TRACE_SCENARIOS)
@@ -1363,6 +1503,19 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--corpus", default="corpus",
                         help="chaos: failure-corpus directory "
                              "(default 'corpus')")
+    parser.add_argument("--speed", type=float, default=1.0,
+                        help="live: simulated seconds per wall second "
+                             "(default 1.0 = real time, 0 = unpaced)")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="live: telemetry server port (default 8321, "
+                             "0 = ephemeral)")
+    parser.add_argument("--checkpoint-every", type=float, default=10.0,
+                        dest="checkpoint_every",
+                        help="live: wall seconds between periodic "
+                             "checkpoints (default 10)")
+    parser.add_argument("--reload-dir", default=None, dest="reload_dir",
+                        help="live: directory polled for hot-load payload "
+                             "JSON files (fault schedules, chaos specs)")
     args = parser.parse_args(argv)
     if args.command in ("trace", "monitor", "report"):
         if args.scenario is None:
@@ -1419,14 +1572,22 @@ def main(argv: List[str] = None) -> int:
         elif args.scenario not in SCENARIOS_VERBS:
             parser.error("scenarios needs a verb: "
                          f"choose from {SCENARIOS_VERBS}")
+    elif args.command == "live":
+        if args.scenario is None:
+            args.scenario = "traffic-retry-storm"
+        elif args.scenario not in persistence_scenarios:
+            parser.error(f"scenario {args.scenario!r} is not available for "
+                         f"'live' (choose from {persistence_scenarios})")
     if args.out is None:
         args.out = ("checkpoint-out"
                     if args.command in ("checkpoint", "resume", "replay")
                     else "prof-out" if args.command == "profile"
                     else "chaos-out" if args.command == "chaos"
+                    else "live-out" if args.command == "live"
                     else "trace-out")
     if args.json:
         _JSON_COLLECTOR = []
+    _install_signal_handlers()
     exit_code = 0
     try:
         if args.command == "all":
@@ -1475,8 +1636,32 @@ def main(argv: List[str] = None) -> int:
                 exit_code = cmd_chaos_corpus(args.corpus)
         elif args.command == "scenarios":
             exit_code = cmd_scenarios_list()
+        elif args.command == "live":
+            exit_code = cmd_live(args.quick, scenario=args.scenario,
+                                 out=args.out, speed=args.speed,
+                                 port=args.port,
+                                 checkpoint_every=args.checkpoint_every,
+                                 reload_dir=args.reload_dir,
+                                 until=args.until, seed=args.seed)
         else:
             COMMANDS[args.command](args.quick)
+        if _JSON_COLLECTOR is not None:
+            print(json.dumps({"tables": _JSON_COLLECTOR,
+                              "exit_code": exit_code}, indent=2,
+                             default=str))
+    except _HarnessSignal as exc:
+        # A batch command was interrupted (SIGINT/SIGTERM).  Flush any
+        # armed flight recorder as a harness-crash incident before
+        # exiting with the conventional 128+signum code.
+        exit_code = 128 + exc.signum
+        bundles = _flush_signal_incidents(exc.signum)
+        _progress(f"interrupted by signal {exc.signum}; exiting "
+                  f"{exit_code}")
+        for bundle in bundles:
+            _progress(f"  harness-crash incident captured: {bundle}")
+        _print_data("interrupted", {"signal": exc.signum,
+                                    "exit_code": exit_code,
+                                    "bundles": bundles})
         if _JSON_COLLECTOR is not None:
             print(json.dumps({"tables": _JSON_COLLECTOR,
                               "exit_code": exit_code}, indent=2,

@@ -1,0 +1,42 @@
+"""Live-service mode: the resilience stack as an operable control plane.
+
+Everything else in the repo is batch -- prepare a scenario, drain the
+event queue, exit.  :mod:`repro.live` runs the same scenarios as
+long-lived services: the kernel paced against the wall clock, telemetry
+served over HTTP, checkpoints taken on a wall-clock cadence for
+restart-without-loss, and reconfiguration hot-loaded without stopping.
+``python -m repro live <scenario>`` is the entry point.
+
+The whole subsystem preserves the persistence plane's determinism
+contract: pacing and serving are telemetry-only (a paced run's journal
+is byte-identical to the batch reference), and hot-loads pin themselves
+to fired-count barriers so resumed and replayed runs reproduce them
+exactly.
+"""
+
+from repro.live.pacing import PacingStats, RealTimeExecutor
+from repro.live.reconfigure import (
+    LiveLoadError,
+    PAYLOAD_KINDS,
+    apply_payload,
+    register_live_loads,
+    validate_payload,
+)
+from repro.live.server import TelemetryServer
+from repro.live.status import health_snapshot, status_snapshot
+from repro.live.supervisor import CHECKPOINT_EVERY_S, LiveService
+
+__all__ = [
+    "CHECKPOINT_EVERY_S",
+    "LiveLoadError",
+    "LiveService",
+    "PAYLOAD_KINDS",
+    "PacingStats",
+    "RealTimeExecutor",
+    "TelemetryServer",
+    "apply_payload",
+    "health_snapshot",
+    "register_live_loads",
+    "status_snapshot",
+    "validate_payload",
+]

@@ -1,0 +1,187 @@
+"""The real-time executor: pace the kernel against the wall clock.
+
+Batch drivers drain the event queue as fast as the CPU allows; the live
+service instead maps simulated seconds onto wall-clock seconds with a
+configurable *speed factor* (``speed=1`` is real time, ``speed=10`` runs
+ten simulated seconds per wall second, ``speed=0`` disables pacing
+entirely).  Before each event fires, the executor sleeps toward
+
+    ``wall_anchor + (event_time - sim_anchor) / speed``
+
+an *absolute* schedule: lag is never silently re-anchored, so a system
+that cannot keep up shows a growing ``live.pacing.lag_s`` instead of a
+quietly stretched clock.
+
+Determinism contract: pacing is telemetry-only.  The executor drives the
+same :meth:`~repro.simulation.kernel.Simulator.step` sequence a batch
+driver does, and its lag telemetry uses metric *sample series* only
+(never counters or trace events, which feed the system digest) -- so a
+paced run's journal and digest chain are byte-identical to the batch
+run's at any speed factor.
+
+Between events -- and while sleeping -- the executor calls back into the
+supervisor (``housekeeping``), which is where periodic checkpoints,
+hot-reload polling and drain requests happen: always at an event
+boundary, never mid-step.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: Longest single sleep, so drain requests and hot-reloads are noticed
+#: promptly even when the next event is far away in wall time.
+POLL_INTERVAL_S = 0.05
+
+#: Minimum wall seconds between lag samples (keeps the digest-neutral
+#: telemetry bounded at high event rates).
+LAG_SAMPLE_EVERY_S = 0.25
+
+
+@dataclass
+class PacingStats:
+    """Wall-clock accounting of one paced drive (telemetry-only)."""
+
+    speed: float = 0.0
+    events: int = 0
+    wall_s: float = 0.0
+    slept_s: float = 0.0
+    max_lag_s: float = 0.0
+    behind_events: int = 0      # events that fired past their wall target
+
+    def to_dict(self) -> dict:
+        return {
+            "speed": self.speed,
+            "events": self.events,
+            "wall_s": self.wall_s,
+            "slept_s": self.slept_s,
+            "max_lag_s": self.max_lag_s,
+            "behind_events": self.behind_events,
+        }
+
+
+@dataclass
+class RealTimeExecutor:
+    """Drives a system's kernel on a wall-clock schedule.
+
+    ``clock`` and ``sleep`` are injectable for tests (a fake clock makes
+    pacing assertions deterministic).  ``should_stop`` returning True
+    stops the drive at the next event boundary; ``housekeeping`` runs
+    between events and during pacing sleeps.
+    """
+
+    system: Any
+    speed: float = 1.0
+    poll_interval: float = POLL_INTERVAL_S
+    clock: Callable[[], float] = _time.monotonic
+    sleep: Callable[[float], None] = _time.sleep
+    # Optional context manager held around each step (and the final
+    # clock advance): the supervisor passes its state lock so HTTP
+    # handler threads only ever render between events.
+    lock: Optional[Any] = None
+    stats: PacingStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.speed < 0:
+            raise ValueError(f"speed factor must be >= 0, got {self.speed}")
+        self.stats = PacingStats(speed=self.speed)
+
+    # ------------------------------------------------------------------ #
+    def run(self, until: float,
+            should_stop: Optional[Callable[[], bool]] = None,
+            housekeeping: Optional[Callable[[], None]] = None) -> str:
+        """Drive to ``until``; returns ``"completed"`` or ``"drained"``.
+
+        Mirrors the batch drivers' semantics: kernel stops (e.g. a
+        ``harness-crash`` fault) are ignored, and on completion the
+        clock advances to exactly ``until`` even if the queue drained
+        earlier -- so the journal's closing record matches
+        ``run_scenario``'s byte for byte.
+        """
+        sim = self.system.sim
+        started = self.clock()
+        wall_anchor, sim_anchor = started, sim.now
+        last_housekeeping = started
+        last_lag_sample = started
+        try:
+            while True:
+                if should_stop is not None and should_stop():
+                    return "drained"
+                next_time = sim.next_event_time()
+                if next_time is None or next_time > until:
+                    if not self._idle_to(until, wall_anchor, sim_anchor,
+                                         should_stop, housekeeping):
+                        return "drained"
+                    # Advance the clock to the horizon exactly as
+                    # run(until=...) would on a drained queue.
+                    if self.lock is not None:
+                        with self.lock:
+                            sim.run(until=until)
+                    else:
+                        sim.run(until=until)
+                    return "completed"
+                if self.speed > 0:
+                    target = wall_anchor + (next_time - sim_anchor) / self.speed
+                    if not self._sleep_until(target, should_stop, housekeeping):
+                        return "drained"
+                    lag = self.clock() - target
+                    if lag > 0:
+                        self.stats.behind_events += 1
+                        if lag > self.stats.max_lag_s:
+                            self.stats.max_lag_s = lag
+                    now_wall = self.clock()
+                    if now_wall - last_lag_sample >= LAG_SAMPLE_EVERY_S:
+                        last_lag_sample = now_wall
+                        self._record_lag(max(lag, 0.0))
+                if self.lock is not None:
+                    with self.lock:
+                        stepped = sim.step()
+                else:
+                    stepped = sim.step()
+                if not stepped:
+                    continue   # only cancelled events remained; re-peek
+                self.stats.events += 1
+                if housekeeping is not None:
+                    now_wall = self.clock()
+                    if now_wall - last_housekeeping >= self.poll_interval:
+                        last_housekeeping = now_wall
+                        housekeeping()
+        finally:
+            self.stats.wall_s += self.clock() - started
+
+    # ------------------------------------------------------------------ #
+    def _sleep_until(self, target: float,
+                     should_stop: Optional[Callable[[], bool]],
+                     housekeeping: Optional[Callable[[], None]]) -> bool:
+        """Sleep toward an absolute wall target; False on drain request."""
+        while True:
+            delay = target - self.clock()
+            if delay <= 0:
+                return True
+            chunk = min(delay, self.poll_interval)
+            self.sleep(chunk)
+            self.stats.slept_s += chunk
+            if housekeeping is not None:
+                housekeeping()
+            if should_stop is not None and should_stop():
+                return False
+
+    def _idle_to(self, until: float, wall_anchor: float, sim_anchor: float,
+                 should_stop: Optional[Callable[[], bool]],
+                 housekeeping: Optional[Callable[[], None]]) -> bool:
+        """Paced wait out the tail of the horizon after the queue drains."""
+        if self.speed <= 0:
+            return True
+        target = wall_anchor + (until - sim_anchor) / self.speed
+        return self._sleep_until(target, should_stop, housekeeping)
+
+    def _record_lag(self, lag: float) -> None:
+        # Sample series only: digest-neutral by the persistence
+        # telemetry rule (counters and trace events feed the digest).
+        system = self.system
+        system.metrics.record("live.pacing.lag_s", system.sim.now, lag)
+        if system.spans is not None:
+            system.spans.record("live:pacing", "live", system.sim.now,
+                                lag_s=lag, speed=self.speed)

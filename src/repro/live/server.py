@@ -1,0 +1,117 @@
+"""The live telemetry server: ``/metrics``, ``/healthz``, dashboard.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` (no new dependencies)
+serving the running system's telemetry:
+
+* ``/metrics`` -- the same :func:`~repro.observability.export.prometheus_text`
+  exposition ``python -m repro report`` writes to disk, rendered from the
+  shared :func:`~repro.observability.export.report_inputs` assembly so
+  served and written telemetry cannot drift.
+* ``/healthz`` -- JSON from the SLO monitor's *current* state: 200 while
+  every objective holds, 503 while any is breached (load-balancer
+  semantics: a breached-then-recovered service goes ready again).
+* ``/status`` -- the operator view: health plus checkpoint/pacing/
+  hot-load accounting.
+* ``/`` -- the auto-refreshing HTML dashboard, rendered by the same
+  :func:`~repro.observability.export.render_html_report` as the file
+  report.
+
+Handlers run in server threads while the supervisor steps the kernel in
+the main thread; every render goes through the service's lock and is a
+pure read, so scraping never perturbs the journaled run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+
+#: Dashboard auto-refresh period (seconds).
+DASHBOARD_REFRESH_S = 2.0
+
+
+class TelemetryServer:
+    """Serves a :class:`~repro.live.supervisor.LiveService`'s telemetry.
+
+    ``port=0`` binds an ephemeral port (tests); the bound port is
+    available as :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, service: Any, port: int = 0,
+                 host: str = "127.0.0.1") -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def port(self) -> Optional[int]:
+        return self._httpd.server_address[1] if self._httpd else None
+
+    @property
+    def url(self) -> Optional[str]:
+        return f"http://{self.host}:{self.port}" if self._httpd else None
+
+    def start(self) -> "TelemetryServer":
+        service = self.service
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                try:
+                    if self.path == "/metrics":
+                        body = service.render_metrics()
+                        self._reply(200, body,
+                                    "text/plain; version=0.0.4; charset=utf-8")
+                    elif self.path == "/healthz":
+                        code, health = service.render_health()
+                        self._reply(code, json.dumps(health, sort_keys=True),
+                                    "application/json")
+                    elif self.path == "/status":
+                        self._reply(200,
+                                    json.dumps(service.render_status(),
+                                               sort_keys=True, default=str),
+                                    "application/json")
+                    elif self.path in ("/", "/dashboard"):
+                        self._reply(200, service.render_dashboard(),
+                                    "text/html; charset=utf-8")
+                    else:
+                        self._reply(404, json.dumps(
+                            {"error": "not found", "routes":
+                             ["/metrics", "/healthz", "/status", "/"]}),
+                            "application/json")
+                except Exception as exc:  # pragma: no cover - defensive
+                    self._reply(500, json.dumps({"error": str(exc)}),
+                                "application/json")
+
+            def _reply(self, code: int, body: str, content_type: str) -> None:
+                data = body.encode("utf-8")
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def log_message(self, *args: Any) -> None:
+                pass   # scrapes are not operator-facing events
+
+        self._httpd = ThreadingHTTPServer((self.host, self._requested_port),
+                                          Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-live-telemetry",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,68 @@
+"""Service health and status snapshots for the live control plane.
+
+``/healthz`` and ``/status`` render from one place so the probe a load
+balancer sees and the richer operator view can never disagree.  Health
+derives from the SLO monitor when the scenario wires one (``breached_now``
+-- the *current* state, so a service that breached and recovered goes
+healthy again), plus harness-level liveness: a triggered flight recorder
+with a ``harness-crash`` incident marks the service unhealthy even on
+scenarios without SLOs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+def health_snapshot(system: Any,
+                    monitor: Optional[Any] = None,
+                    flight: Optional[Any] = None) -> Dict[str, Any]:
+    """The ``/healthz`` body: ``status`` is ``"ok"`` or ``"breached"``.
+
+    ``monitor`` is a :class:`~repro.observability.slo.SloMonitor` (or
+    None for scenarios without one); ``flight`` a
+    :class:`~repro.observability.flight.FlightRecorder`.
+    """
+    breached = []
+    if monitor is not None:
+        breached = [status.spec.name for status in monitor.breached_now]
+    crashed = bool(flight is not None and any(
+        t.reason == "harness-crash" for t in flight.triggers))
+    healthy = not breached and not crashed
+    body: Dict[str, Any] = {
+        "status": "ok" if healthy else "breached",
+        "sim_time": system.sim.now,
+        "fired_events": system.sim.fired_count,
+        "pending_events": system.sim.pending_count,
+        "breached_slos": breached,
+    }
+    if monitor is not None:
+        body["slo_evaluations"] = monitor.evaluations
+        body["slo_breach_events"] = monitor.breach_events
+    if crashed:
+        body["harness_crash"] = True
+    return body
+
+
+def status_snapshot(service: Any) -> Dict[str, Any]:
+    """The ``/status`` body: health plus supervisor-level operation data.
+
+    ``service`` is a :class:`~repro.live.supervisor.LiveService`; this
+    helper only reads, so HTTP handler threads can call it under the
+    service lock without perturbing the run.
+    """
+    system = service.system
+    body = health_snapshot(system, monitor=service.monitor,
+                           flight=service.flight)
+    body.update({
+        "scenario": service.spec.to_dict(),
+        "horizon": service.horizon,
+        "speed": service.speed,
+        "resumed": service.resumed,
+        "draining": service.draining,
+        "checkpoints_written": service.checkpoints_written,
+        "last_checkpoint": service.last_checkpoint_meta,
+        "hot_loads_applied": service.hot_loads_applied,
+        "pacing": service.executor.stats.to_dict(),
+    })
+    return body

@@ -167,6 +167,46 @@ def write_profile(instrument: Optional[Instrument], path: PathLike) -> Dict[str,
 
 
 # --------------------------------------------------------------------------- #
+# Shared render inputs (file exporters + live HTTP endpoints)
+# --------------------------------------------------------------------------- #
+def report_inputs(system: Any, scenario: Optional[str] = None,
+                  kpi_report: Optional[Any] = None) -> Dict[str, Any]:
+    """Assemble everything the Prometheus and HTML renderers consume.
+
+    One assembly path for ``python -m repro report`` (file artifacts) and
+    the live telemetry server (``/metrics``, dashboard), so served and
+    written telemetry can never drift.  Pure reads: safe to call mid-run
+    from an HTTP handler thread under the service lock (in particular it
+    never finishes open spans -- end-of-run callers do that themselves
+    before asking for a report).
+
+    Returns a dict with ``kpi_report``, ``histograms``, ``per_kind``,
+    ``per_source``, ``telemetry``, ``profile`` and ``availability``.
+    """
+    from repro.observability.kpis import availability_kpis
+    from repro.observability.overhead import telemetry_health
+
+    report = kpi_report if kpi_report is not None else system.kpi_report()
+    histograms: Dict[str, StreamingHistogram] = {}
+    if report.repair_latency is not None and report.repair_latency.count:
+        histograms["repair_latency_seconds"] = report.repair_latency
+    per_kind = system.network.stats.per_kind
+    for kind, hist in sorted(per_kind.items()):
+        if hist.count:
+            histograms[f"network_latency_seconds_{kind}"] = hist
+    meta = {"scenario": scenario} if scenario else None
+    return {
+        "kpi_report": report,
+        "histograms": histograms,
+        "per_kind": per_kind,
+        "per_source": system.network.stats.per_source,
+        "telemetry": telemetry_health(system),
+        "profile": system.profile_snapshot(meta=meta),
+        "availability": availability_kpis(system.metrics, system.sim.now),
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Prometheus text exposition
 # --------------------------------------------------------------------------- #
 _PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
@@ -451,8 +491,13 @@ def render_html_report(
     bench_trajectory: Optional[List[List[Any]]] = None,
     profile: Optional[Dict[str, Any]] = None,
     chaos: Optional[Dict[str, Any]] = None,
+    refresh: Optional[float] = None,
 ) -> str:
     """Build the self-contained HTML resilience report.
+
+    ``refresh`` (seconds) adds a ``<meta http-equiv="refresh">`` tag --
+    the live telemetry server serves an auto-refreshing dashboard from
+    the same renderer the file exporter uses.
 
     ``kpi_report`` is a :class:`~repro.observability.kpis.KpiReport`;
     ``slo_monitor`` (optional) a :class:`~repro.observability.slo.SloMonitor`.
@@ -672,8 +717,11 @@ def render_html_report(
             bench_trajectory))
 
     body = "".join(parts)
+    meta_refresh = (f'<meta http-equiv="refresh" content="{refresh:g}">'
+                    if refresh else "")
     return (
         "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
+        f"{meta_refresh}"
         f"<title>{_html.escape(title)}</title>"
         f"<style>{_HTML_STYLE}</style></head><body>"
         f"<h1>{_html.escape(title)}</h1>"

@@ -9,6 +9,10 @@ prefix on disk.  Record shapes:
   -- one per fired kernel event.
 * ``{"type": "digest", "i": ..., "t": ..., "digest": "<sha256>"}``
   -- the whole-system digest, every ``digest_every`` events.
+* ``{"type": "reconfig", "i": ..., "t": ..., "payload": {...}}`` -- a
+  reconfiguration hot-loaded into a live run at fired-count barrier
+  ``i`` (between events ``i`` and ``i+1``).  Replay re-applies it at
+  the same barrier; it is an instruction, not a compared record.
 * ``{"type": "end", "i": ..., "t": ..., "digest": ...}`` -- written by a
   clean close; its absence marks an interrupted run.
 
@@ -58,6 +62,10 @@ class JournalRecords:
     def events(self) -> List[Dict[str, Any]]:
         return [r for r in self.records if r.get("type") == "event"]
 
+    def reconfigs(self) -> List[Dict[str, Any]]:
+        """Hot-loaded reconfiguration records, in application order."""
+        return [r for r in self.records if r.get("type") == "reconfig"]
+
 
 class JournalWriter:
     """Flushing JSONL writer bound to one run.
@@ -96,6 +104,18 @@ class JournalWriter:
 
     def append_digest(self, index: int, time: float, digest: str) -> None:
         self._write({"type": "digest", "i": index, "t": time, "digest": digest})
+        self.records_written += 1
+
+    def append_reconfig(self, index: int, time: float,
+                        payload: Dict[str, Any]) -> None:
+        """Journal a live hot-load applied at fired-count barrier ``index``.
+
+        Written *before* the payload is applied (WAL discipline): a crash
+        between the write and the next checkpoint truncates the record
+        away together with any events it influenced.
+        """
+        self._write({"type": "reconfig", "i": index, "t": time,
+                     "payload": payload})
         self.records_written += 1
 
     def close(self, index: int, time: float, digest: str) -> None:

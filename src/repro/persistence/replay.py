@@ -153,6 +153,19 @@ def replay_records(journal: JournalRecords,
     prepared = prepare(spec)
     horizon = until if until is not None else prepared.horizon
 
+    # Reconfigurations hot-loaded into the original run re-apply at their
+    # fired-count barriers; the records themselves are instructions, not
+    # part of the compared stream (the replay side never emits them).
+    reconfigs = journal.reconfigs()
+    if reconfigs:
+        from repro.live.reconfigure import register_live_loads
+
+        register_live_loads(prepared.system,
+                            [{"fired": r.get("i", 0), "time": r.get("t", 0.0),
+                              "payload": r.get("payload", {})}
+                             for r in reconfigs])
+    compared = [r for r in journal.records if r.get("type") != "reconfig"]
+
     memory = _MemoryJournal(journal.digest_every or 25)
     recorder = RunRecorder(prepared.system, journal=memory)
     try:
@@ -163,14 +176,15 @@ def replay_records(journal: JournalRecords,
         else:
             recorder.detach()
 
-    divergence = _first_divergence(journal.records, memory.records,
+    divergence = _first_divergence(compared, memory.records,
                                    journal.complete)
     return ReplayReport(
         scenario=scenario,
-        records_checked=len(journal.records),
+        records_checked=len(compared),
         events_replayed=prepared.system.sim.fired_count,
         journal_complete=journal.complete,
         divergence=divergence,
+        extra={"reconfigs_applied": len(reconfigs)} if reconfigs else {},
     )
 
 

@@ -101,12 +101,27 @@ def scenario_builders() -> Dict[str, ScenarioBuilder]:
 
 
 def prepare(spec: ScenarioSpec) -> PreparedRun:
-    """Build (but do not run) the system described by ``spec``."""
+    """Build (but do not run) the system described by ``spec``.
+
+    ``params["live_loads"]`` -- reconfigurations hot-loaded into a
+    previous live run, each ``{"fired": N, "time": T, "payload": {...}}``
+    -- is applied generically: every load re-registers at its original
+    fired-count barrier, so a rebuilt run (fast-forward, resume, replay)
+    reproduces the mutation at the identical point in the event sequence
+    and every kernel sequence number matches the live run's.
+    """
     _ensure_builtin()
     builder = _REGISTRY.get(spec.name)
     if builder is None:
         raise UnknownScenarioError(spec.name, scenario_names())
-    return builder(spec.seed, dict(spec.params))
+    params = dict(spec.params)
+    live_loads = params.pop("live_loads", None)
+    prepared = builder(spec.seed, params)
+    if live_loads:
+        from repro.live.reconfigure import register_live_loads
+
+        register_live_loads(prepared.system, live_loads)
+    return prepared
 
 
 # --------------------------------------------------------------------------- #

@@ -110,6 +110,10 @@ class Simulator:
         # that loosely coupled components (e.g. fault injector and device
         # fleet) can find each other without import cycles.
         self.context: Dict[str, Any] = {}
+        # Driver-level barrier actions keyed by fired-event count (see
+        # at_fired()).  Deliberately not part of snapshot_state(): hooks
+        # belong to the driver, not to the simulated system.
+        self._fired_hooks: Dict[int, List[Callable[["Simulator"], None]]] = {}
 
     # ------------------------------------------------------------------ #
     # Clock and scheduling
@@ -187,6 +191,11 @@ class Simulator:
             observer = self.on_event
             if observer is not None:
                 observer(event)
+            if self._fired_hooks:
+                hooks = self._fired_hooks.pop(self._fired, None)
+                if hooks is not None:
+                    for hook in hooks:
+                        hook(self)
             return True
         return False
 
@@ -216,6 +225,41 @@ class Simulator:
     def stop(self) -> None:
         """Stop the current :meth:`run` after the executing event returns."""
         self._stopped = True
+
+    def next_event_time(self) -> Optional[float]:
+        """Absolute time of the next pending event, or None when drained.
+
+        Public peek for drivers that own their loop (the live real-time
+        executor paces the kernel against the wall clock by looking at
+        the next event's timestamp before stepping).
+        """
+        return self._peek_time()
+
+    def at_fired(self, index: int,
+                 callback: Callable[["Simulator"], None]) -> None:
+        """Run ``callback`` at the fired-count barrier ``index``.
+
+        The callback fires at a deterministic point in the event
+        sequence: after event ``index``'s own callback and the
+        ``on_event`` observer, before event ``index + 1`` pops.  If the
+        barrier is the current fired count, the callback runs
+        immediately (the driver is already between events).
+
+        This is how live hot-loads stay replayable: the running service
+        applies a reconfiguration between events at fired count N, and a
+        rebuilt run (resume or replay) registers the same payload at the
+        same barrier, so every kernel sequence number assigned by the
+        load matches the original run's.  Hooks are driver state --
+        never checkpointed, never digested.
+        """
+        index = int(index)
+        if index < self._fired:
+            raise SimulationError(
+                f"barrier {index} is in the past (fired={self._fired})")
+        if index == self._fired:
+            callback(self)
+            return
+        self._fired_hooks.setdefault(index, []).append(callback)
 
     def _peek_time(self) -> Optional[float]:
         while self._heap:

@@ -14,7 +14,8 @@ import pytest
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 ARTIFACT_PATTERN = re.compile(
     r"(^|/)__pycache__/|\.pyc$"
-    r"|^(trace-out|bench-out|prof-out|checkpoint-out|chaos-out|corpus)/")
+    r"|^(trace-out|bench-out|prof-out|checkpoint-out|chaos-out|corpus"
+    r"|live-out)/")
 
 
 def _tracked_files():
@@ -40,5 +41,6 @@ def test_gitignore_covers_artifact_paths():
     with open(os.path.join(REPO_ROOT, ".gitignore"), encoding="utf-8") as fh:
         ignored = fh.read()
     for needle in ("__pycache__/", "*.pyc", "trace-out/", "bench-out/",
-                   "prof-out/", "checkpoint-out/", "chaos-out/", "corpus/"):
+                   "prof-out/", "checkpoint-out/", "chaos-out/", "corpus/",
+                   "live-out/"):
         assert needle in ignored, f".gitignore lost the {needle!r} entry"
