@@ -65,6 +65,7 @@ TOLERANCES: List[Tuple[str, float, str]] = [
     (r".*wall_s$", 1.0, "higher"),          # allow 2x before flagging
     (r".*\.events_per_s$", 0.5, "lower"),   # throughput: flag 50% drops
     (r".*\.specs_per_s$", 0.5, "lower"),    # compile throughput: same rule
+    (r".*\.speedup_k\d+$", 0.5, "lower"),   # shard scaling: flag 50% drops
     (r".*", _EPS, "both"),                  # everything else: deterministic
 ]
 
@@ -545,6 +546,60 @@ def bench_live(quick: bool) -> Dict[str, float]:
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+def bench_shard(quick: bool) -> Dict[str, float]:
+    """Sharded federation scaling: K=1/2/4 over the same federated spec.
+
+    Each rep runs the identical ``smart-city-federated`` spec unsharded
+    (K=1) and partitioned across 2 and 4 shard processes; per-K wall is
+    the min over reps (noise only inflates a leg) and the speedups are
+    ratios of those mins.  ``digest_stable`` requires every rep of every
+    K to reproduce its federation digest bit-for-bit — the determinism
+    headline for the parallel driver.  ``speedup_ok`` is the scaling
+    tripwire: on runners with >= 4 cores the 4-shard run must beat the
+    unsharded one by >= 2.5x; on smaller machines (where parallel shards
+    cannot physically win) it records a gated pass, so a 1-core baseline
+    stays comparable to a 4-core CI check.
+    """
+    from repro.persistence import ScenarioSpec
+    from repro.shard import ShardedSimulator
+
+    reps = 2 if quick else 3
+    params = {
+        "domains": 8,
+        "devices_per_domain": 2_000 if quick else 10_000,
+        "horizon": 6.0 if quick else 9.0,
+        "max_event_rate": 80.0 if quick else 250.0,
+    }
+    spec = ScenarioSpec(name="smart-city-federated", seed=47, params=params)
+    walls: Dict[int, float] = {1: float("inf"), 2: float("inf"),
+                               4: float("inf")}
+    events: Dict[int, float] = {}
+    digests: Dict[int, set] = {1: set(), 2: set(), 4: set()}
+    for _rep in range(reps):
+        for shards in (1, 2, 4):
+            result = ShardedSimulator(spec, shards=shards).run()
+            walls[shards] = min(walls[shards], result.wall_s)
+            events[shards] = float(result.events)
+            digests[shards].add(result.federation_digest)
+    speedup_k2 = walls[1] / walls[2] if walls[2] > 0 else 0.0
+    speedup_k4 = walls[1] / walls[4] if walls[4] > 0 else 0.0
+    stable = all(len(seen) == 1 for seen in digests.values())
+    cores = os.cpu_count() or 1
+    metrics: Dict[str, float] = {
+        "wall_s": walls[1],
+        "events": events[1],
+        "digest_stable": float(stable),
+        "speedup_ok": 1.0 if cores < 4 else float(speedup_k4 >= 2.5),
+    }
+    for shards in (1, 2, 4):
+        metrics[f"k{shards}.wall_s"] = walls[shards]
+        metrics[f"k{shards}.events_per_s"] = (
+            events[shards] / walls[shards] if walls[shards] > 0 else 0.0)
+    metrics["speedup_k2"] = speedup_k2
+    metrics["speedup_k4"] = speedup_k4
+    return metrics
+
+
 SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
     "smart_city": bench_smart_city,
     "mape_outage": bench_mape_outage,
@@ -556,6 +611,7 @@ SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
     "observability": bench_observability,
     "chaos": bench_chaos,
     "live": bench_live,
+    "shard": bench_shard,
 }
 
 

@@ -47,6 +47,13 @@ chaos       ``chaos run`` drives a seeded chaos-search campaign over
 scenarios   ``scenarios list`` prints the unified scenario registry --
             every runnable scenario across all planes, with its owning
             plane, variants and description.
+shard       ``shard run <scenario> --shards K [--workers W]`` partitions a
+            federated scenario into K administrative-domain shards, each
+            on its own simulator in a worker process, synchronized with
+            conservative lookahead windows; ``shard resume`` continues a
+            killed run from its barrier checkpoints; ``shard verify``
+            replays every shard journal and verifies the federation
+            digest chain bit-for-bit (exit nonzero on divergence).
 all         Every table command above, in order.
 
 Every gated command (monitor, traffic, security, replay) runs under a
@@ -1351,6 +1358,114 @@ def cmd_scenarios_list() -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# shard: parallel multi-domain federation runs
+# --------------------------------------------------------------------------- #
+SHARD_VERBS = ("run", "verify", "resume")
+
+
+def _shard_report(title: str, result, out: str) -> int:
+    """Print a federation result; write the metrics/report artifacts."""
+    from repro.observability.export import write_html_report, write_prometheus
+    from repro.simulation.metrics import MetricsRecorder
+
+    _print_table(
+        f"{title}: per-shard statistics",
+        ["shard", "domains", "events", "wall (s)", "sync wait (s)",
+         "mailbox peak", "injected", "digest"],
+        [[row["shard"], ", ".join(row["domains"]), row["events"],
+          f"{row['wall_s']:.2f}", f"{row['sync_wait_s']:.2f}",
+          row["mailbox_peak"], row["injected"],
+          (row["digest"] or "-")[:16]] for row in result.shard_rows()])
+    _print_data(title, result.to_dict())
+    if not result.complete:
+        _progress(f"\n{title}: stopped mid-run (emulated kill); resume with "
+                  f"'python -m repro shard resume --out {out}'")
+        return 0
+    summary = result.report_summary()
+    prom_path = os.path.join(out, "metrics.prom")
+    html_path = os.path.join(out, "report.html")
+    # A federation has no single-system recorder: the shard families
+    # carry the whole exposition, over an empty recorder.
+    write_prometheus(MetricsRecorder(), prom_path, shards=summary)
+    write_html_report(html_path, f"Federation: {result.spec.name}", None,
+                      shards=summary)
+    resumed = ("" if result.resumed_from_window is None
+               else f" (resumed from window {result.resumed_from_window})")
+    _progress(f"\n{title}: {result.shards} shard(s) x {result.windows} "
+              f"window(s), {result.events} events, "
+              f"{result.devices:,} devices in {result.wall_s:.1f}s "
+              f"wall{resumed}")
+    _progress(f"federation digest: {result.federation_digest}")
+    _progress(f"report: {html_path}; metrics: {prom_path}; verify with "
+              f"'python -m repro shard verify --out {out}'")
+    return 0
+
+
+def cmd_shard_run(quick: bool, scenario: str = "smart-city-federated",
+                  shards: int = 4, workers: Optional[int] = None,
+                  out: str = "shard-out", seed: Optional[int] = None,
+                  checkpoint_every: int = 10,
+                  stop_after: Optional[int] = None) -> int:
+    """Run a federated scenario partitioned across shard processes."""
+    from repro.persistence import ScenarioSpec
+    from repro.shard import ShardedSimulator
+
+    params: Dict[str, object] = {}
+    if quick:
+        params["quick"] = True
+    spec = ScenarioSpec(name=scenario, seed=seed, params=params)
+    driver = ShardedSimulator(spec, shards=shards, workers=workers,
+                              out_dir=out, checkpoint_every=checkpoint_every,
+                              stop_after_window=stop_after)
+    _progress(f"shard run: {scenario} across {driver.shards} shard(s), "
+              f"{driver.workers} worker process(es) -> {out!r}...")
+    result = driver.run()
+    return _shard_report("shard run", result, out)
+
+
+def cmd_shard_resume(out: str = "shard-out",
+                     workers: Optional[int] = None) -> int:
+    """Resume a killed federation run from its shard checkpoints."""
+    from repro.persistence import CheckpointError
+    from repro.shard import ShardedSimulator
+
+    _progress(f"shard resume: fast-forwarding shards in {out!r}...")
+    try:
+        result = ShardedSimulator.resume(out, workers=workers)
+    except CheckpointError as exc:
+        _progress(f"shard resume: {exc}")
+        return 2
+    return _shard_report("shard resume", result, out)
+
+
+def cmd_shard_verify(out: str = "shard-out",
+                     workers: Optional[int] = None) -> int:
+    """Replay every shard journal; verify the federation digest chain."""
+    from repro.persistence import CheckpointError
+    from repro.shard import verify_federation
+
+    _progress(f"shard verify: replaying shards in {out!r}...")
+    try:
+        report = verify_federation(out, workers=workers or 1)
+    except (CheckpointError, OSError, ValueError, KeyError) as exc:
+        _progress(f"shard verify: {exc}")
+        return 2
+    _print_table(
+        "shard verify: per-shard replay",
+        ["shard", "records", "events", "digest", "verdict"],
+        [[r["shard"], r["records_checked"], r["events"],
+          (r["digest"] or "-")[:16],
+          "MATCH" if r["ok"] else "DIVERGED"] for r in report["reports"]])
+    _print_data("shard verify", report)
+    if report["ok"]:
+        _progress(f"\nSHARD VERIFY: MATCH ({report['shards']} shard(s) "
+                  "reproduced bit-for-bit; federation digest chain intact)")
+        return 0
+    _progress("\nSHARD VERIFY: DIVERGED (see per-shard verdicts above)")
+    return 1
+
+
 def cmd_live(quick: bool, scenario: str = "traffic-retry-storm",
              out: str = "live-out", speed: float = 1.0,
              port: int = 8321, checkpoint_every: float = 10.0,
@@ -1453,7 +1568,7 @@ def main(argv: List[str] = None) -> int:
                                                     "traffic", "security",
                                                     "incident", "profile",
                                                     "chaos", "scenarios",
-                                                    "live"],
+                                                    "live", "shard"],
                         help="which experiment to run")
     parser.add_argument("scenario", nargs="?",
                         choices=sorted(set(TRACE_SCENARIOS)
@@ -1463,18 +1578,20 @@ def main(argv: List[str] = None) -> int:
                                        | set(INCIDENT_VERBS)
                                        | set(PROFILE_VERBS)
                                        | set(CHAOS_VERBS)
-                                       | set(SCENARIOS_VERBS)),
+                                       | set(SCENARIOS_VERBS)
+                                       | set(SHARD_VERBS)),
                         default=None,
                         help="scenario for the trace/monitor/report/"
                              "checkpoint/traffic/security commands, "
                              "show|replay for the incident command, "
                              "run|diff for the profile command, "
-                             "run|shrink|corpus for the chaos command, or "
-                             "list for the scenarios command")
+                             "run|shrink|corpus for the chaos command, "
+                             "list for the scenarios command, or "
+                             "run|verify|resume for the shard command")
     parser.add_argument("path", nargs="?", default=None,
                         help="incident: path to a captured incident bundle; "
-                             "profile run: scenario name; profile diff: "
-                             "first snapshot")
+                             "profile run / shard run: scenario name; "
+                             "profile diff: first snapshot")
     parser.add_argument("path2", nargs="?", default=None,
                         help="profile diff: second snapshot")
     parser.add_argument("--quick", action="store_true",
@@ -1512,10 +1629,22 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--checkpoint-every", type=float, default=10.0,
                         dest="checkpoint_every",
                         help="live: wall seconds between periodic "
-                             "checkpoints (default 10)")
+                             "checkpoints; shard run: lookahead windows "
+                             "between barrier checkpoints (default 10)")
     parser.add_argument("--reload-dir", default=None, dest="reload_dir",
                         help="live: directory polled for hot-load payload "
                              "JSON files (fault schedules, chaos specs)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard run: number of domain shards "
+                             "(default 4; 1 = unsharded reference)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard: worker processes (default: one per "
+                             "shard for run/resume, serial for verify)")
+    parser.add_argument("--stop-after", type=int, default=None,
+                        dest="stop_after",
+                        help="shard run: abort after this lookahead window "
+                             "(emulated mid-run kill; resume with "
+                             "'shard resume')")
     args = parser.parse_args(argv)
     if args.command in ("trace", "monitor", "report"):
         if args.scenario is None:
@@ -1578,12 +1707,25 @@ def main(argv: List[str] = None) -> int:
         elif args.scenario not in persistence_scenarios:
             parser.error(f"scenario {args.scenario!r} is not available for "
                          f"'live' (choose from {persistence_scenarios})")
+    elif args.command == "shard":
+        if args.scenario is None:
+            args.scenario = "run"
+        elif args.scenario not in SHARD_VERBS:
+            parser.error(f"shard needs a verb: choose from {SHARD_VERBS}")
+        if args.scenario == "run":
+            if args.path is None:
+                args.path = "smart-city-federated"
+            elif args.path not in persistence_scenarios:
+                parser.error(f"scenario {args.path!r} is not available for "
+                             "'shard run' (choose from "
+                             f"{persistence_scenarios})")
     if args.out is None:
         args.out = ("checkpoint-out"
                     if args.command in ("checkpoint", "resume", "replay")
                     else "prof-out" if args.command == "profile"
                     else "chaos-out" if args.command == "chaos"
                     else "live-out" if args.command == "live"
+                    else "shard-out" if args.command == "shard"
                     else "trace-out")
     if args.json:
         _JSON_COLLECTOR = []
@@ -1643,6 +1785,19 @@ def main(argv: List[str] = None) -> int:
                                  checkpoint_every=args.checkpoint_every,
                                  reload_dir=args.reload_dir,
                                  until=args.until, seed=args.seed)
+        elif args.command == "shard":
+            if args.scenario == "run":
+                exit_code = cmd_shard_run(
+                    args.quick, scenario=args.path, shards=args.shards,
+                    workers=args.workers, out=args.out, seed=args.seed,
+                    checkpoint_every=int(args.checkpoint_every),
+                    stop_after=args.stop_after)
+            elif args.scenario == "verify":
+                exit_code = cmd_shard_verify(out=args.out,
+                                             workers=args.workers)
+            else:
+                exit_code = cmd_shard_resume(out=args.out,
+                                             workers=args.workers)
         else:
             COMMANDS[args.command](args.quick)
         if _JSON_COLLECTOR is not None:

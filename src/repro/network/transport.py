@@ -144,6 +144,11 @@ class Network:
         # Transport ACL: traffic from or to a quarantined node is dropped
         # at dispatch (and at delivery, for messages already in flight).
         self._quarantined: set = set()
+        # Federation seam: when set, sends whose (src, dst) the router
+        # claims are diverted into cross-shard mailboxes *before* a
+        # Message is allocated or stats are touched, so local and
+        # sharded runs stay digest-identical (see ``repro.shard``).
+        self.remote_router = None
 
     # -- endpoint management ---------------------------------------------- #
     def register(self, node: str, kind: str, handler: MessageHandler) -> None:
@@ -208,6 +213,9 @@ class Network:
         size_bytes: int = 256,
     ) -> Message:
         """Send a datagram; returns the message (delivery not guaranteed)."""
+        router = self.remote_router
+        if router is not None and router.routes(src, dst):
+            return router.send(src, dst, kind, payload, size_bytes)
         message = Message(
             src=src,
             dst=dst,

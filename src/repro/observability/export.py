@@ -170,7 +170,8 @@ def write_profile(instrument: Optional[Instrument], path: PathLike) -> Dict[str,
 # Shared render inputs (file exporters + live HTTP endpoints)
 # --------------------------------------------------------------------------- #
 def report_inputs(system: Any, scenario: Optional[str] = None,
-                  kpi_report: Optional[Any] = None) -> Dict[str, Any]:
+                  kpi_report: Optional[Any] = None,
+                  shards: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Assemble everything the Prometheus and HTML renderers consume.
 
     One assembly path for ``python -m repro report`` (file artifacts) and
@@ -182,6 +183,10 @@ def report_inputs(system: Any, scenario: Optional[str] = None,
 
     Returns a dict with ``kpi_report``, ``histograms``, ``per_kind``,
     ``per_source``, ``telemetry``, ``profile`` and ``availability``.
+    ``shards`` (a federation summary dict with ``rows`` from
+    :meth:`~repro.shard.driver.FederationResult.shard_rows`) is passed
+    through verbatim for the ``repro_shard_*`` Prometheus families and
+    the HTML "Shards" table.
     """
     from repro.observability.kpis import availability_kpis
     from repro.observability.overhead import telemetry_health
@@ -203,6 +208,7 @@ def report_inputs(system: Any, scenario: Optional[str] = None,
         "telemetry": telemetry_health(system),
         "profile": system.profile_snapshot(meta=meta),
         "availability": availability_kpis(system.metrics, system.sim.now),
+        "shards": shards,
     }
 
 
@@ -235,6 +241,7 @@ def prometheus_text(
     per_source: Optional[Dict[str, List[int]]] = None,
     telemetry: Optional[Dict[str, Any]] = None,
     profile: Optional[Dict[str, Any]] = None,
+    shards: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Render recorder state in the Prometheus text exposition format.
 
@@ -251,7 +258,9 @@ def prometheus_text(
     the ``repro_observability_overhead_*`` self-metering family.
     ``profile`` (a :func:`~repro.observability.profile.capture_profile`
     snapshot) appends the ``repro_profile_*`` plane-attribution and
-    request-segment families.
+    request-segment families.  ``shards`` (a federation summary with
+    per-shard ``rows``) appends the ``repro_shard_*`` families: events,
+    mailbox depth, window count and synchronization-wait wall time.
     """
     lines: List[str] = []
     if per_source:
@@ -299,7 +308,49 @@ def prometheus_text(
         from repro.observability.profile import profile_prom_lines
 
         lines.extend(profile_prom_lines(profile, prefix=prefix))
+    if shards is not None:
+        lines.extend(shard_prom_lines(shards, prefix=prefix))
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def shard_prom_lines(shards: Dict[str, Any], prefix: str = "repro_") -> List[str]:
+    """The ``repro_shard_*`` federation families.
+
+    ``shards`` is the summary dict the shard CLI builds from a
+    :class:`~repro.shard.driver.FederationResult`: scalar run facts
+    (``shards``, ``windows``, ``lookahead``, ``wall_s``) plus per-shard
+    ``rows`` (:meth:`~repro.shard.driver.FederationResult.shard_rows`).
+    Per-shard series carry a ``shard`` label so dashboards can spot a
+    straggler (high ``sync_wait``) or a hot mailbox at a glance.
+    """
+    lines: List[str] = []
+    for key, suffix, kind in (
+        ("shards", "shard_count", "gauge"),
+        ("windows", "shard_windows_total", "counter"),
+        ("lookahead", "shard_lookahead_seconds", "gauge"),
+        ("wall_s", "shard_wall_seconds", "gauge"),
+        ("devices", "shard_devices", "gauge"),
+    ):
+        if key in shards and shards[key] is not None:
+            metric = prefix + suffix
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric} {_prom_value(shards[key])}")
+    rows = shards.get("rows") or []
+    for key, suffix, kind in (
+        ("events", "shard_events_total", "counter"),
+        ("mailbox_peak", "shard_mailbox_depth_peak", "gauge"),
+        ("injected", "shard_mailbox_injected_total", "counter"),
+        ("sync_wait_s", "shard_sync_wait_seconds_total", "counter"),
+        ("wall_s", "shard_run_wall_seconds_total", "counter"),
+    ):
+        if not rows or key not in rows[0]:
+            continue
+        metric = prefix + suffix
+        lines.append(f"# TYPE {metric} {kind}")
+        for row in rows:
+            lines.append(
+                f'{metric}{{shard="{row["shard"]}"}} {_prom_value(row[key])}')
+    return lines
 
 
 def write_prometheus(
@@ -310,11 +361,12 @@ def write_prometheus(
     per_source: Optional[Dict[str, List[int]]] = None,
     telemetry: Optional[Dict[str, Any]] = None,
     profile: Optional[Dict[str, Any]] = None,
+    shards: Optional[Dict[str, Any]] = None,
 ) -> int:
     """Write the Prometheus exposition; returns the number of lines."""
     text = prometheus_text(metrics, histograms=histograms, prefix=prefix,
                            per_source=per_source, telemetry=telemetry,
-                           profile=profile)
+                           profile=profile, shards=shards)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
     return text.count("\n")
@@ -459,6 +511,51 @@ def _render_chaos_section(chaos: Dict[str, Any]) -> str:
     return "".join(parts)
 
 
+def _render_shards_section(shards: Dict[str, Any]) -> str:
+    """The "Shards" report section (federation summary + per-shard rows).
+
+    ``shards`` is the summary dict built from a
+    :class:`~repro.shard.driver.FederationResult`: scalar run facts plus
+    per-shard ``rows``.
+    """
+    parts: List[str] = ["<h2>Shards</h2>"]
+    facts: List[str] = []
+    if shards.get("shards") is not None:
+        facts.append(f"{shards['shards']} shard(s)")
+    if shards.get("workers") is not None:
+        facts.append(f"{shards['workers']} worker(s)")
+    if shards.get("windows") is not None:
+        facts.append(f"{shards['windows']} lookahead window(s)")
+    if shards.get("lookahead") is not None:
+        facts.append(f"W={shards['lookahead']:g}s")
+    if shards.get("devices"):
+        facts.append(f"{shards['devices']:,} devices")
+    if shards.get("wall_s") is not None:
+        facts.append(f"{shards['wall_s']:.1f}s wall")
+    if facts:
+        parts.append(f"<p>{_html.escape(', '.join(facts))}.</p>")
+    rows = shards.get("rows") or []
+    if rows:
+        parts.append(_html_table(
+            ["shard", "domains", "events", "wall (s)", "sync wait (s)",
+             "mailbox peak", "injected", "digest"],
+            [[row.get("shard"),
+              ", ".join(row.get("domains") or []),
+              row.get("events"),
+              "-" if row.get("wall_s") is None else f"{row['wall_s']:.2f}",
+              ("-" if row.get("sync_wait_s") is None
+               else f"{row['sync_wait_s']:.2f}"),
+              row.get("mailbox_peak"),
+              row.get("injected"),
+              (row.get("digest") or "-")[:16]] for row in rows]))
+    digest = shards.get("federation_digest")
+    if digest:
+        parts.append(
+            f"<p>Federation digest: <code>{_html.escape(str(digest))}</code> "
+            "(verify with <code>python -m repro shard verify</code>).</p>")
+    return "".join(parts)
+
+
 def write_chaos_report(path: PathLike, title: str,
                        campaign: Optional[Dict[str, Any]] = None,
                        corpus: Optional[List[Dict[str, Any]]] = None) -> int:
@@ -491,6 +588,7 @@ def render_html_report(
     bench_trajectory: Optional[List[List[Any]]] = None,
     profile: Optional[Dict[str, Any]] = None,
     chaos: Optional[Dict[str, Any]] = None,
+    shards: Optional[Dict[str, Any]] = None,
     refresh: Optional[float] = None,
 ) -> str:
     """Build the self-contained HTML resilience report.
@@ -512,28 +610,38 @@ def render_html_report(
     ``profile`` is a :func:`~repro.observability.profile.capture_profile`
     snapshot rendered as the "Profile" section (per-plane cost
     attribution + request critical-path breakdown).
+
+    ``kpi_report`` may be ``None`` for federation-level reports (a
+    sharded run has per-shard systems but no single-system KPI report);
+    ``shards`` (the federation summary dict) then renders the "Shards"
+    table standalone.
     """
     parts: List[str] = []
-    headline = [
-        ("availability", kpi_report.availability, "{:.4f}"),
-        ("worst device", kpi_report.worst_availability, "{:.4f}"),
-        ("degraded time (s)", kpi_report.degraded_time, "{:.1f}"),
-        ("disruptions", len(kpi_report.arcs), "{}"),
-        ("SLO alerts", kpi_report.alerts, "{}"),
-        ("violations", kpi_report.violations, "{}"),
-    ]
-    tiles = []
-    for label, value, fmt in headline:
-        rendered = "-" if value is None else fmt.format(value)
-        tiles.append(f'<div class="kpi"><div class="value">{rendered}</div>'
-                     f'<div class="label">{_html.escape(label)}</div></div>')
-    parts.append(f'<div class="kpi-grid">{"".join(tiles)}</div>')
+    if kpi_report is not None:
+        headline = [
+            ("availability", kpi_report.availability, "{:.4f}"),
+            ("worst device", kpi_report.worst_availability, "{:.4f}"),
+            ("degraded time (s)", kpi_report.degraded_time, "{:.1f}"),
+            ("disruptions", len(kpi_report.arcs), "{}"),
+            ("SLO alerts", kpi_report.alerts, "{}"),
+            ("violations", kpi_report.violations, "{}"),
+        ]
+        tiles = []
+        for label, value, fmt in headline:
+            rendered = "-" if value is None else fmt.format(value)
+            tiles.append(
+                f'<div class="kpi"><div class="value">{rendered}</div>'
+                f'<div class="label">{_html.escape(label)}</div></div>')
+        parts.append(f'<div class="kpi-grid">{"".join(tiles)}</div>')
 
-    parts.append("<h2>Resilience KPIs by disruption vector</h2>")
-    parts.append(_html_table(
-        ["vector", "faults", "resolved", "MTTD mean (s)", "MTTR mean (s)",
-         "msgs/disruption", "disrupted time (s)"],
-        kpi_report.vector_rows()))
+        parts.append("<h2>Resilience KPIs by disruption vector</h2>")
+        parts.append(_html_table(
+            ["vector", "faults", "resolved", "MTTD mean (s)", "MTTR mean (s)",
+             "msgs/disruption", "disrupted time (s)"],
+            kpi_report.vector_rows()))
+
+    if shards:
+        parts.append(_render_shards_section(shards))
 
     if slo_monitor is not None:
         parts.append("<h2>SLOs</h2>")
@@ -581,7 +689,7 @@ def render_html_report(
                 ["node", "aggregate trust"],
                 [[node, f"{score:.3f}"] for node, score in sorted(trust.items())]))
 
-    if kpi_report.convergence:
+    if kpi_report is not None and kpi_report.convergence:
         parts.append("<h2>Protocol convergence</h2>")
         parts.append(_html_table(
             ["protocol", "rounds", "mean (s)", "p95 (s)", "max (s)"],
@@ -601,7 +709,7 @@ def render_html_report(
         parts.append("<table><thead><tr><th>device</th><th>availability</th>"
                      f"</tr></thead><tbody>{''.join(bar_rows)}</tbody></table>")
 
-    if kpi_report.arcs:
+    if kpi_report is not None and kpi_report.arcs:
         parts.append("<h2>Disruption arcs</h2>")
         parts.append(_html_table(
             ["fault", "vector", "injected at (s)", "MTTD (s)", "MTTR (s)",
@@ -719,13 +827,20 @@ def render_html_report(
     body = "".join(parts)
     meta_refresh = (f'<meta http-equiv="refresh" content="{refresh:g}">'
                     if refresh else "")
+    if kpi_report is not None:
+        horizon_line = f"<p>Simulated horizon: {kpi_report.horizon:.1f}s.</p>"
+    elif shards and shards.get("horizon") is not None:
+        horizon_line = (f"<p>Simulated horizon: {shards['horizon']:.1f}s "
+                        f"across {shards.get('shards', '?')} shard(s).</p>")
+    else:
+        horizon_line = ""
     return (
         "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
         f"{meta_refresh}"
         f"<title>{_html.escape(title)}</title>"
         f"<style>{_HTML_STYLE}</style></head><body>"
         f"<h1>{_html.escape(title)}</h1>"
-        f"<p>Simulated horizon: {kpi_report.horizon:.1f}s.</p>"
+        f"{horizon_line}"
         f"{body}"
         "<footer>Generated by <code>python -m repro report</code> — all data "
         "derives deterministically from the run's seed.</footer>"
@@ -746,6 +861,7 @@ def write_html_report(
     bench_trajectory: Optional[List[List[Any]]] = None,
     profile: Optional[Dict[str, Any]] = None,
     chaos: Optional[Dict[str, Any]] = None,
+    shards: Optional[Dict[str, Any]] = None,
 ) -> int:
     """Write the HTML resilience report; returns bytes written."""
     document = render_html_report(
@@ -753,7 +869,8 @@ def write_html_report(
         availability_per_device=availability_per_device,
         network_kinds=network_kinds, per_source=per_source,
         incidents=incidents, telemetry=telemetry,
-        bench_trajectory=bench_trajectory, profile=profile, chaos=chaos)
+        bench_trajectory=bench_trajectory, profile=profile, chaos=chaos,
+        shards=shards)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(document)
     return len(document.encode("utf-8"))

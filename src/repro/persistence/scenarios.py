@@ -294,3 +294,16 @@ def _ensure_builtin() -> None:
         if seed:
             chaos = chaos.with_seed(seed)
         return ScenarioCompiler().compile(chaos)
+
+    @register_scenario("smart-city-federated")
+    def _smart_city_federated(seed: int, params: Dict[str, Any]) -> PreparedRun:
+        """Federated smart city: K administrative domains x N devices.
+
+        One shard's worth of the paper's Fig. 4 federation (all domains
+        when the ``shard``/``shards`` params are absent); see
+        :mod:`repro.shard.scenario`.  Runs standalone like any scenario,
+        or partitioned under the sharded federation driver.
+        """
+        from repro.shard.scenario import prepare_smart_city_federated
+
+        return prepare_smart_city_federated(seed, params)

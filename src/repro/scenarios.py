@@ -47,6 +47,7 @@ _PLANES: Dict[str, str] = {
     "smart-city-partition": "observability",
     "harness-crash": "persistence",
     "chaos": "chaos",
+    "smart-city-federated": "shard",
 }
 
 

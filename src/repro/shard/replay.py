@@ -1,0 +1,126 @@
+"""Shard-by-shard replay verification of a federation run.
+
+Each shard's WAL journal is replayed exactly the way the persistence
+plane replays single-system runs — rebuild from the journaled spec,
+re-drive, diff every record — except that driving is *windowed*: the
+recorded inbox journal supplies the envelopes the shard received from
+its peers, injected at the same lookahead barriers as in the original
+run.  A shard therefore verifies in isolation, without its peers
+running, which is what makes federation verification embarrassingly
+parallel: :func:`verify_federation` spreads shards over the shared
+:func:`repro.sweep._pool` worker pool.
+
+The federation digest is re-chained from the replayed shard digests and
+compared against the manifest, so a single bit of drift in any shard
+fails the whole federation check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, Optional
+
+from ..persistence.journal import read_journal
+from ..persistence.replay import _first_divergence, _MemoryJournal
+from ..persistence.runner import RunRecorder
+from ..persistence.scenarios import ScenarioSpec, prepare
+from ..persistence.snapshot import system_digest
+from ..sweep import _pool
+from .driver import (
+    federation_digest,
+    lookahead_barriers,
+    manifest_path,
+    read_inbox,
+)
+from .worker import shard_paths
+
+import json
+
+
+def replay_shard(out_dir: str, shard_id: int) -> Dict[str, Any]:
+    """Replay one shard's journal against its recorded inboxes."""
+    paths = shard_paths(out_dir, shard_id)
+    journal = read_journal(paths["journal"])
+    scenario = journal.scenario
+    if not scenario or "name" not in scenario:
+        raise ValueError(f"shard {shard_id}: journal has no scenario spec")
+    header, inboxes = read_inbox(paths["inbox"])
+    spec = ScenarioSpec.from_dict(scenario)
+    prepared = prepare(spec)
+    system = prepared.system
+    gateway = prepared.aux["federation"]
+    lookahead = (float(header["lookahead"]) if header
+                 else gateway.lookahead)
+    horizon = (float(header["horizon"]) if header
+               else prepared.horizon)
+
+    memory = _MemoryJournal(journal.digest_every or 25)
+    recorder = RunRecorder(system, journal=memory)
+    try:
+        for window, barrier in enumerate(
+                lookahead_barriers(lookahead, horizon), start=1):
+            gateway.inject(inboxes.get(window, []))
+            while system.sim.now < barrier:
+                system.run(until=barrier)
+            gateway.drain_outbox()
+    finally:
+        if journal.complete:
+            recorder.finish()
+        else:
+            recorder.detach()
+
+    compared = [r for r in journal.records if r.get("type") != "reconfig"]
+    divergence = _first_divergence(compared, memory.records,
+                                   journal.complete)
+    return {
+        "shard": shard_id,
+        "ok": divergence is None,
+        "divergence": asdict(divergence) if divergence else None,
+        "records_checked": len(compared),
+        "events": system.sim.fired_count,
+        "digest": system_digest(system),
+        "complete": journal.complete,
+    }
+
+
+def verify_federation(out_dir: str, workers: int = 1) -> Dict[str, Any]:
+    """Replay every shard and re-chain the federation digest.
+
+    ``workers > 1`` verifies shards in parallel over the shared sweep
+    process pool (shard replays are stateless, so a plain executor fits
+    — unlike the live run's barrier-synchronized actors).
+    """
+    with open(manifest_path(out_dir), encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    shards = int(manifest["shards"])
+    expected_digests = manifest.get("shard_digests") or []
+    pool = _pool(min(workers, shards))
+    try:
+        if pool is not None:
+            futures = [pool.submit(replay_shard, out_dir, shard)
+                       for shard in range(shards)]
+            reports = [future.result() for future in futures]
+        else:
+            reports = [replay_shard(out_dir, shard)
+                       for shard in range(shards)]
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    digests = [report["digest"] for report in reports]
+    chained = federation_digest(manifest["scenario"], shards, digests)
+    manifest_digest: Optional[str] = manifest.get("federation_digest")
+    digests_match = (expected_digests == digests if expected_digests
+                     else True)
+    ok = (all(report["ok"] for report in reports)
+          and digests_match
+          and (manifest_digest is None or chained == manifest_digest))
+    return {
+        "ok": ok,
+        "shards": shards,
+        "complete": bool(manifest.get("complete")),
+        "reports": reports,
+        "federation_digest": chained,
+        "manifest_digest": manifest_digest,
+        "shard_digests_match": digests_match,
+    }

@@ -154,6 +154,22 @@ def _run_cell_serial(run: Callable[..., float], params: Dict[str, Any],
     return [float(run(**params, **{seed_param: seed})) for seed in seeds]
 
 
+def _pool(workers: int) -> Optional[ProcessPoolExecutor]:
+    """Validated process-pool construction shared across parallel runners.
+
+    Sweeps, the sharded-federation driver and shard replay verification
+    all spread work over processes; this is the one place worker counts
+    are validated and pools are built.  ``workers == 1`` returns ``None``
+    (callers run serially in-process); ``workers <= 0`` is a hard error
+    rather than a silent serial fallback.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1:
+        return None
+    return ProcessPoolExecutor(max_workers=workers)
+
+
 def run_sweep(
     run: Callable[..., float],
     grid: Dict[str, Sequence[Any]],
@@ -180,8 +196,6 @@ def run_sweep(
         raise ValueError("grid must name at least one parameter")
     if not seeds:
         raise ValueError("need at least one seed")
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
     keys = tuple(grid.keys())
@@ -193,8 +207,10 @@ def run_sweep(
     if checkpoint_path is not None:
         done = _load_checkpoint(checkpoint_path, fingerprint)
 
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     pending = [params for params in combos if _cell_key(params) not in done]
-    executor = ProcessPoolExecutor(max_workers=workers) if workers > 1 and pending else None
+    executor = _pool(workers) if pending else None
     try:
         since_save = 0
         for params in pending:

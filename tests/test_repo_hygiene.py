@@ -15,7 +15,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 ARTIFACT_PATTERN = re.compile(
     r"(^|/)__pycache__/|\.pyc$"
     r"|^(trace-out|bench-out|prof-out|checkpoint-out|chaos-out|corpus"
-    r"|live-out)/")
+    r"|live-out|shard-out)/")
 
 
 def _tracked_files():
@@ -42,5 +42,5 @@ def test_gitignore_covers_artifact_paths():
         ignored = fh.read()
     for needle in ("__pycache__/", "*.pyc", "trace-out/", "bench-out/",
                    "prof-out/", "checkpoint-out/", "chaos-out/", "corpus/",
-                   "live-out/"):
+                   "live-out/", "shard-out/"):
         assert needle in ignored, f".gitignore lost the {needle!r} entry"
